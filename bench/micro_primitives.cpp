@@ -1,0 +1,135 @@
+// Microbenchmarks (google-benchmark) for the primitives every experiment
+// stands on: mapping decode/encode, GF(2) algebra, the simulated timing
+// channel, Algorithm 1 selection, and the XOR-mask search inner loop.
+// These measure *host* cost, bounding how long the table/figure harnesses
+// take to run — the virtual-time numbers in Fig. 2 are independent.
+#include <benchmark/benchmark.h>
+
+#include "core/address_selection.h"
+#include "core/dramdig.h"
+#include "core/environment.h"
+#include "dram/presets.h"
+#include "sim/machine.h"
+#include "sim/profiles.h"
+#include "util/combinatorics.h"
+#include "util/gf2.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dramdig;
+
+void BM_MappingDecode(benchmark::State& state) {
+  const auto& m = dram::machine_by_number(6).mapping;
+  rng r(1);
+  std::uint64_t pa = r.below(m.memory_bytes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.decode(pa));
+    pa = (pa + 4097) & (m.memory_bytes() - 1);
+  }
+}
+BENCHMARK(BM_MappingDecode);
+
+void BM_MappingEncode(benchmark::State& state) {
+  const auto& m = dram::machine_by_number(6).mapping;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.encode(i % m.bank_count(), i % 1024, 0));
+    ++i;
+  }
+}
+BENCHMARK(BM_MappingEncode);
+
+void BM_Gf2MinimalBasis(benchmark::State& state) {
+  rng r(2);
+  std::vector<std::uint64_t> funcs;
+  for (int i = 0; i < 63; ++i) funcs.push_back(1 + r.below((1u << 22) - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gf2::minimal_basis(funcs));
+  }
+}
+BENCHMARK(BM_Gf2MinimalBasis);
+
+void BM_Gf2Solve(benchmark::State& state) {
+  const auto& m = dram::machine_by_number(2).mapping;
+  std::uint64_t want = 0;
+  const std::uint64_t support = (1ull << 22) - (1ull << 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gf2::solve(m.bank_functions(), want, support));
+    want = (want + 1) % 32;
+  }
+}
+BENCHMARK(BM_Gf2Solve);
+
+void BM_MeasurePair(benchmark::State& state) {
+  const auto spec = dram::machine_by_number(1);
+  sim::machine machine(spec, 3, sim::timing_profile_for(spec));
+  std::uint64_t p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        machine.controller().measure_pair(p, p ^ (1ull << 20), 1000));
+    p = (p + (1ull << 14)) & (spec.memory_bytes - 1);
+  }
+}
+BENCHMARK(BM_MeasurePair);
+
+void BM_HammerWindow(benchmark::State& state) {
+  const auto spec = dram::machine_by_number(2);
+  sim::machine machine(spec, 4, sim::timing_profile_for(spec));
+  std::uint64_t row = 10;
+  for (auto _ : state) {
+    const auto a = *spec.mapping.encode(0, row - 1, 0);
+    const auto b = *spec.mapping.encode(0, row + 1, 0);
+    benchmark::DoNotOptimize(machine.faults().hammer_pair(a, b));
+    row = 10 + (row + 4) % 20000;
+  }
+}
+BENCHMARK(BM_HammerWindow);
+
+void BM_AddressSelection(benchmark::State& state) {
+  core::environment env(dram::machine_by_number(6), 5);
+  const auto& buffer = env.space().map_buffer(env.spec().memory_bytes / 2);
+  const std::vector<unsigned> bank_bits{7,  8,  9,  12, 13, 14, 15,
+                                        16, 17, 18, 19, 20, 21, 22};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::select_addresses(buffer, bank_bits));
+  }
+}
+BENCHMARK(BM_AddressSelection)->Unit(benchmark::kMillisecond);
+
+void BM_XorMaskSweep(benchmark::State& state) {
+  // The Algorithm 3 inner loop: all masks over 14 bank bits against one
+  // pile of 256 addresses.
+  const std::vector<unsigned> bits{7,  8,  9,  12, 13, 14, 15,
+                                   16, 17, 18, 19, 20, 21, 22};
+  rng r(6);
+  std::vector<std::uint64_t> pile;
+  for (int i = 0; i < 256; ++i) pile.push_back(r.below(1ull << 23));
+  for (auto _ : state) {
+    std::size_t alive = 0;
+    for_each_bit_combination(bits, 1, 14, [&](std::uint64_t mask) {
+      const unsigned want = parity(pile[0], mask);
+      for (std::size_t i = 1; i < pile.size(); ++i) {
+        if (parity(pile[i], mask) != want) return true;
+      }
+      ++alive;
+      return true;
+    });
+    benchmark::DoNotOptimize(alive);
+  }
+}
+BENCHMARK(BM_XorMaskSweep)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndDramDigNo4(benchmark::State& state) {
+  // Host cost of a full pipeline run on the smallest machine.
+  for (auto _ : state) {
+    core::environment env(dram::machine_by_number(4),
+                          static_cast<std::uint64_t>(state.iterations()));
+    core::dramdig_tool tool(env);
+    benchmark::DoNotOptimize(tool.run());
+  }
+}
+BENCHMARK(BM_EndToEndDramDigNo4)->Unit(benchmark::kMillisecond);
+
+}  // namespace

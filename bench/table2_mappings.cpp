@@ -1,0 +1,47 @@
+// Reproduces **Table II**: "Reverse-Engineered DRAM Mappings on 9 different
+// machine settings" — bank address functions, row bits and column bits per
+// machine, as uncovered by DRAMDig against the simulated ground truth.
+//
+// The reported bank functions are one valid GF(2) basis of the function
+// space; the paper prints a specific basis, so the `matches` column
+// compares span + row/column bit sets rather than literal text.
+#include <cstdio>
+
+#include "core/dramdig.h"
+#include "core/environment.h"
+#include "dram/presets.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dramdig;
+  std::printf(
+      "== Table II: reverse-engineered DRAM mappings on 9 machine settings "
+      "==\n\n");
+  text_table table({"No.", "Microarch.", "DRAM Type, Size", "Config.",
+                    "Bank Address Functions", "Row Bits", "Column Bits",
+                    "Matches paper"});
+  int correct = 0;
+  for (const dram::machine_spec& spec : dram::paper_machines()) {
+    core::environment env(spec, /*seed=*/1000 + spec.number);
+    core::dramdig_tool tool(env);
+    const core::dramdig_report report = tool.run();
+    const bool ok = report.success && report.mapping &&
+                    report.mapping->equivalent_to(spec.mapping);
+    correct += ok;
+    table.add_row(
+        {spec.label(), spec.microarchitecture + " " + spec.cpu_model,
+         spec.dram_description(), spec.config_quadruple(),
+         report.mapping ? report.mapping->describe_functions() : "(failed)",
+         report.mapping ? dram::describe_bit_ranges(report.mapping->row_bits())
+                        : "-",
+         report.mapping
+             ? dram::describe_bit_ranges(report.mapping->column_bits())
+             : "-",
+         ok ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("deterministically uncovered: %d/9 machines\n", correct);
+  std::printf("(functions shown are the detected GF(2) basis; 'Matches "
+              "paper' = same span and identical row/column bits)\n");
+  return correct == 9 ? 0 : 1;
+}

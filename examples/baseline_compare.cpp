@@ -1,0 +1,71 @@
+// Run all three reverse-engineering tools — DRAMDig, DRAMA (Pessl et al.)
+// and Xiao et al. — against the same simulated machine and compare
+// outcome, output quality and virtual time cost. This is the per-machine
+// view behind Table I.
+//
+//   $ baseline_compare [machine_number=2] [seed=7]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/drama.h"
+#include "baselines/xiao.h"
+#include "core/dramdig.h"
+#include "core/environment.h"
+#include "dram/presets.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dramdig;
+  const int machine_no = argc > 1 ? std::atoi(argv[1]) : 2;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+  const dram::machine_spec& spec = dram::machine_by_number(machine_no);
+
+  std::printf("Machine %s (%s, %s, config %s), seed %llu\n\n",
+              spec.label().c_str(), spec.microarchitecture.c_str(),
+              spec.dram_description().c_str(), spec.config_quadruple().c_str(),
+              static_cast<unsigned long long>(seed));
+
+  text_table table({"Tool", "Outcome", "Mapping correct", "Time", "Notes"});
+
+  {
+    core::environment env(spec, seed);
+    core::dramdig_tool tool(env);
+    const auto report = tool.run();
+    table.add_row(
+        {"DRAMDig", report.success ? "success" : "failed",
+         report.mapping && report.mapping->equivalent_to(spec.mapping) ? "yes"
+                                                                       : "no",
+         fmt_duration_s(report.total_seconds),
+         report.success ? "pool " + std::to_string(report.pool_size)
+                        : report.failure_reason});
+  }
+  {
+    core::environment env(spec, seed);
+    baselines::drama_tool tool(env);
+    const auto report = tool.run();
+    const bool correct =
+        report.mapping &&
+        gf2::same_span(report.functions, spec.mapping.bank_functions()) &&
+        report.mapping->row_bits() == spec.mapping.row_bits();
+    table.add_row({"DRAMA", report.completed ? "completed"
+                            : report.timed_out ? "timeout (2h)"
+                                               : "no agreement",
+                   correct ? "yes" : "no",
+                   fmt_duration_s(report.total_seconds),
+                   std::to_string(report.trials_run) + " trials"});
+  }
+  {
+    core::environment env(spec, seed);
+    baselines::xiao_tool tool(env);
+    const auto report = tool.run();
+    table.add_row(
+        {"Xiao et al.", report.success ? "success"
+                        : report.stalled ? "stuck"
+                                         : "failed",
+         report.mapping && report.mapping->equivalent_to(spec.mapping) ? "yes"
+                                                                       : "no",
+         fmt_duration_s(report.total_seconds), report.note});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: reverse-engineer the DRAM address mapping of one simulated
+// machine and compare against the ground truth.
+//
+//   $ quickstart [machine_number=1] [seed=42]
+//
+// Walks the whole DRAMDig pipeline with info-level narration and prints
+// the uncovered bank functions, row bits and column bits in the format of
+// the paper's Table II.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/dramdig.h"
+#include "core/environment.h"
+#include "dram/presets.h"
+#include "util/log.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dramdig;
+  const int machine_no = argc > 1 ? std::atoi(argv[1]) : 1;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  set_log_level(log_level::info);
+  const dram::machine_spec& spec = dram::machine_by_number(machine_no);
+  std::printf("Machine %s: %s %s, %s, config %s\n", spec.label().c_str(),
+              spec.microarchitecture.c_str(), spec.cpu_model.c_str(),
+              spec.dram_description().c_str(), spec.config_quadruple().c_str());
+
+  core::environment env(spec, seed);
+  core::dramdig_tool tool(env);
+  const core::dramdig_report report = tool.run();
+
+  std::printf("\n== DRAMDig report ==\n");
+  std::printf("success:        %s\n", report.success ? "yes" : "no");
+  if (!report.success) {
+    std::printf("reason:         %s\n", report.failure_reason.c_str());
+  }
+  std::printf("virtual time:   %s\n",
+              fmt_duration_s(report.total_seconds).c_str());
+  std::printf("measurements:   %llu\n",
+              static_cast<unsigned long long>(report.total_measurements));
+  std::printf("pool size:      %zu\n", report.pool_size);
+  std::printf("piles:          %zu\n", report.pile_count);
+
+  if (report.mapping) {
+    std::printf("\nuncovered:      %s\n", report.mapping->describe().c_str());
+    std::printf("ground truth:   %s\n", spec.mapping.describe().c_str());
+    std::printf("equivalent:     %s\n",
+                report.mapping->equivalent_to(spec.mapping) ? "YES" : "NO");
+  }
+  return report.success &&
+                 report.mapping->equivalent_to(spec.mapping)
+             ? 0
+             : 1;
+}

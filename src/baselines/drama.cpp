@@ -1,0 +1,232 @@
+#include "baselines/drama.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/probe_util.h"
+#include "util/bitops.h"
+#include "util/combinatorics.h"
+#include "util/expect.h"
+#include "util/gf2.h"
+#include "util/histogram.h"
+#include "util/log.h"
+
+namespace dramdig::baselines {
+
+namespace {
+
+/// DRAMA's cruder threshold: modal latency of random pairs x a factor.
+double drama_threshold(sim::memory_controller& mc,
+                       const std::vector<std::uint64_t>& pool,
+                       unsigned calibration_pairs, unsigned rounds,
+                       double factor, rng& r) {
+  std::vector<double> samples;
+  samples.reserve(calibration_pairs);
+  for (unsigned i = 0; i < calibration_pairs; ++i) {
+    const std::uint64_t a = pool[r.below(pool.size())];
+    const std::uint64_t b = pool[r.below(pool.size())];
+    if (a == b) {
+      --i;
+      continue;
+    }
+    samples.push_back(mc.measure_pair(a, b, rounds).mean_access_ns);
+  }
+  histogram h(0.0, 700.0, 140);
+  h.add_all(samples);
+  return h.bin_center(h.mode_bin()) * factor;
+}
+
+}  // namespace
+
+drama_tool::drama_tool(core::environment& env, drama_config config)
+    : env_(env), config_(config) {
+  DRAMDIG_EXPECTS(config_.pool_size >= 64);
+  DRAMDIG_EXPECTS(config_.max_function_bits >= 1);
+}
+
+drama_trial drama_tool::run_trial(const os::mapping_region& buffer, rng& r) {
+  auto& mc = env_.mach().controller();
+  drama_trial trial;
+
+  // Random pool — no structure, no knowledge.
+  std::vector<std::uint64_t> pool =
+      core::sample_addresses(buffer, config_.pool_size, r);
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+
+  const double threshold =
+      drama_threshold(mc, pool, config_.calibration_pairs,
+                      config_.rounds_per_measurement,
+                      config_.threshold_factor, r);
+
+  // --- Clustering: peel same-bank sets with single-sample sweeps. --------
+  std::vector<std::vector<std::uint64_t>> sets;
+  std::vector<std::uint64_t> remaining = pool;
+  unsigned sweeps = 0;
+  while (remaining.size() > config_.pool_size / 10 && sweeps < 100) {
+    ++sweeps;
+    const std::size_t base_idx = r.below(remaining.size());
+    const std::uint64_t base = remaining[base_idx];
+    std::vector<std::uint64_t> set{base};
+    std::vector<std::uint64_t> rest;
+    rest.reserve(remaining.size());
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if (i == base_idx) continue;
+      const double lat =
+          mc.measure_pair(base, remaining[i], config_.rounds_per_measurement)
+              .mean_access_ns;
+      if (lat > threshold) {
+        set.push_back(remaining[i]);
+      } else {
+        rest.push_back(remaining[i]);
+      }
+    }
+    remaining = std::move(rest);
+    if (set.size() >= config_.min_set_size) {
+      sets.push_back(std::move(set));
+    }
+    // Undersized sets are dropped as noise — their members are already
+    // consumed, which is exactly how the original tool loses banks.
+  }
+  trial.set_count = sets.size();
+  if (sets.size() < 2) return trial;
+
+  // --- Brute force over all physical-address bits. -----------------------
+  const unsigned max_bit = std::min<unsigned>(
+      config_.max_candidate_bit, log2_exact(env_.spec().memory_bytes) - 1);
+  std::vector<unsigned> positions;
+  for (unsigned b = 6; b <= max_bit; ++b) positions.push_back(b);
+
+  std::size_t total_addresses = 0;
+  for (const auto& s : sets) total_addresses += s.size();
+
+  std::vector<std::uint64_t> candidates;
+  std::uint64_t masks_tried = 0;
+  for_each_bit_combination(
+      positions, 1, config_.max_function_bits, [&](std::uint64_t mask) {
+        ++masks_tried;
+        // Statistical pre-filter: a random (non-function) mask violates
+        // ~50% of a set; 11+ minority hits in a 32-member sample already
+        // puts it beyond any tolerance this search accepts, while a true
+        // function under realistic pollution essentially never trips it.
+        for (const auto& s : sets) {
+          const std::size_t probe = std::min<std::size_t>(32, s.size());
+          std::size_t ones = 0;
+          for (std::size_t i = 0; i < probe; ++i) ones += parity(s[i], mask);
+          if (std::min(ones, probe - ones) >= 11) return true;  // next mask
+        }
+        std::size_t total_violations = 0;
+        bool saw_zero = false, saw_one = false;
+        for (const auto& s : sets) {
+          // Majority parity per set, counting the minority as violations.
+          std::size_t ones = 0;
+          for (std::uint64_t a : s) ones += parity(a, mask);
+          const std::size_t minority = std::min(ones, s.size() - ones);
+          if (static_cast<double>(minority) >
+              config_.per_set_violation_cap * static_cast<double>(s.size())) {
+            return true;  // hopeless in this set, next mask
+          }
+          total_violations += minority;
+          (ones * 2 > s.size() ? saw_one : saw_zero) = true;
+        }
+        if (static_cast<double>(total_violations) >
+            config_.violation_tolerance * static_cast<double>(total_addresses)) {
+          return true;
+        }
+        // A function must discriminate: both parities across sets.
+        if (saw_zero && saw_one) candidates.push_back(mask);
+        return true;
+      });
+  mc.clock().advance_ns(static_cast<std::uint64_t>(
+      static_cast<double>(masks_tried) * config_.cpu_ns_per_mask));
+
+  // Minimal-weight basis for reporting; echelon form for run-to-run
+  // comparison (two trials agree iff they found the same span). DRAMA has
+  // no bank-count knowledge to validate against, so "valid" just means the
+  // search produced a usable function set.
+  trial.functions = gf2::minimal_basis(candidates);
+  trial.canonical = gf2::row_echelon(trial.functions);
+  trial.valid = trial.functions.size() >= 2;
+  return trial;
+}
+
+drama_report drama_tool::run() {
+  auto& mc = env_.mach().controller();
+  drama_report report;
+  rng r(env_.seed() ^ (config_.tool_seed * 0xD4A2Au + 0x9e3779b9u));
+
+  const std::uint64_t t0 = mc.clock().now_ns();
+  const std::uint64_t m0 = mc.measurement_count();
+
+  const std::uint64_t buffer_bytes =
+      std::min<std::uint64_t>(config_.buffer_bytes,
+                              env_.spec().memory_bytes * 2 / 5);
+  const os::mapping_region& buffer = env_.space().map_buffer(buffer_bytes);
+
+  std::optional<std::vector<std::uint64_t>> prev_valid_functions;
+  for (unsigned t = 0; t < config_.max_trials; ++t) {
+    if (mc.clock().seconds_since(t0) > config_.timeout_seconds) {
+      report.timed_out = true;
+      break;
+    }
+    report.trials.push_back(run_trial(buffer, r));
+    ++report.trials_run;
+    const drama_trial& cur = report.trials.back();
+    log_info("drama: trial " + std::to_string(t) + " sets=" +
+             std::to_string(cur.set_count) + " funcs=" +
+             std::to_string(cur.functions.size()) +
+             (cur.valid ? " (valid)" : " (invalid)"));
+    if (cur.valid && prev_valid_functions &&
+        cur.canonical == *prev_valid_functions) {
+      report.completed = true;
+      report.functions = cur.functions;
+      break;
+    }
+    prev_valid_functions =
+        cur.valid ? std::optional(cur.canonical) : std::nullopt;
+  }
+  if (!report.completed) {
+    if (mc.clock().seconds_since(t0) > config_.timeout_seconds) {
+      report.timed_out = true;
+    }
+    // Best effort: the most recent valid trial, else the last trial.
+    for (auto it = report.trials.rbegin(); it != report.trials.rend(); ++it) {
+      if (it->valid) {
+        report.functions = it->functions;
+        break;
+      }
+    }
+    if (report.functions.empty() && !report.trials.empty()) {
+      report.functions = report.trials.back().functions;
+    }
+  }
+
+  if (!report.functions.empty()) {
+    report.mapping = drama_hypothesis(report.functions,
+                                      log2_exact(env_.spec().memory_bytes));
+  }
+  report.total_seconds = mc.clock().seconds_since(t0);
+  report.total_measurements = mc.measurement_count() - m0;
+  return report;
+}
+
+dram::address_mapping drama_hypothesis(
+    const std::vector<std::uint64_t>& functions, unsigned address_bits) {
+  DRAMDIG_EXPECTS(!functions.empty());
+  // DRAMA-based attacks assume 8 KiB rows: 13 column bits at the bottom,
+  // rows on top, with as many row bits as the function count leaves over.
+  const unsigned rank = static_cast<unsigned>(gf2::rank(functions));
+  const unsigned column_bits = 13;
+  const unsigned row_bits =
+      address_bits > column_bits + rank ? address_bits - column_bits - rank : 1;
+  std::vector<unsigned> rows, cols;
+  for (unsigned b = address_bits - row_bits; b < address_bits; ++b) {
+    rows.push_back(b);
+  }
+  for (unsigned b = 0; b < column_bits && b < address_bits - row_bits; ++b) {
+    cols.push_back(b);
+  }
+  return dram::address_mapping(functions, rows, cols, address_bits);
+}
+
+}  // namespace dramdig::baselines

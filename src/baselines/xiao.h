@@ -1,0 +1,61 @@
+// Xiao et al. baseline (USENIX Security'16, "One Bit Flips, One Cloud
+// Flops"), modelled on the behaviour the DRAMDig authors observed when
+// running the code shared with them (paper §IV-A): efficient and
+// deterministic on the DDR3 configurations the tool was developed for,
+// stuck on everything else — e.g. on machine No.6 it resolved
+// (16,20), (17,21), (18,22) as 3 of the 6 functions and then hung.
+//
+// The model: a library of per-microarchitecture templates (Sandy Bridge,
+// single-channel Ivy Bridge, Haswell — the authors' machines), verified by
+// timing before being accepted; off-template machines fall back to a
+// stride scan that can only discover XOR pairs (i, i+k) for small k whose
+// bits feed no wider function, which is precisely why the multi-bit
+// channel functions of newer parts starve it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/environment.h"
+#include "dram/mapping.h"
+
+namespace dramdig::baselines {
+
+struct xiao_config {
+  unsigned rounds_per_measurement = 2000;
+  unsigned samples_per_latency = 3;
+  unsigned verification_pairs = 60;     ///< template acceptance checks
+  double verification_agreement = 0.9;  ///< fraction that must match
+  std::vector<unsigned> scan_strides{2, 3, 4};
+  double stall_timeout_seconds = 1800.0;  ///< give up "stuck" after 30 min
+  std::uint64_t tool_seed = 1;
+};
+
+struct xiao_report {
+  bool success = false;
+  bool stalled = false;  ///< ran out of search space / time
+  std::optional<dram::address_mapping> mapping;
+  std::vector<std::uint64_t> resolved_functions;  ///< partial when stalled
+  std::string note;
+  double total_seconds = 0.0;
+  std::uint64_t total_measurements = 0;
+};
+
+class xiao_tool {
+ public:
+  explicit xiao_tool(core::environment& env, xiao_config config = {});
+
+  [[nodiscard]] xiao_report run();
+
+ private:
+  core::environment& env_;
+  xiao_config config_;
+};
+
+/// True when the machine belongs to the tool's supported family (DDR3
+/// Sandy Bridge, single-channel DDR3 Ivy Bridge, DDR3 Haswell).
+[[nodiscard]] bool xiao_supports(const dram::machine_spec& spec);
+
+}  // namespace dramdig::baselines

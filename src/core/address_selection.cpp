@@ -1,0 +1,70 @@
+#include "core/address_selection.h"
+
+#include <algorithm>
+
+#include "util/bitops.h"
+#include "util/expect.h"
+#include "util/log.h"
+
+namespace dramdig::core {
+
+selection_result select_addresses(const os::mapping_region& buffer,
+                                  const std::vector<unsigned>& bank_bits) {
+  DRAMDIG_EXPECTS(!bank_bits.empty());
+  DRAMDIG_EXPECTS(std::is_sorted(bank_bits.begin(), bank_bits.end()));
+
+  selection_result sel;
+  sel.b_min = bank_bits.front();
+  sel.b_max = bank_bits.back();
+  sel.range_mask = (std::uint64_t{1} << (sel.b_max + 1)) -
+                   (std::uint64_t{1} << sel.b_min);
+  for (unsigned b = sel.b_min; b <= sel.b_max; ++b) {
+    if (!std::binary_search(bank_bits.begin(), bank_bits.end(), b)) {
+      sel.miss_mask |= std::uint64_t{1} << b;
+    }
+  }
+
+  // Page-level part of the range mask: candidate bits below the page size
+  // are free within any page, so the contiguity requirement only concerns
+  // bits >= 12. (The paper states the check on whole pages.)
+  const std::uint64_t page_part = sel.range_mask & ~(os::kPageSize - 1);
+  const std::uint64_t span = page_part + os::kPageSize;
+
+  // Scan the buffer's frames for a page address p with all page-part bits
+  // set whose enclosing aligned window [p - page_part, p + PAGE_SIZE) is
+  // fully backed.
+  for (std::uint64_t pfn : buffer.sorted_pfns()) {
+    const std::uint64_t p = pfn * os::kPageSize;
+    if ((p & page_part) != page_part) continue;
+    const std::uint64_t start = p - page_part;
+    if (!buffer.covers_range(start, start + span)) continue;
+    sel.p_start = start;
+    sel.p_end = start + span;
+    sel.found = true;
+    break;
+  }
+  if (!sel.found) {
+    log_error("selection: no contiguous range covering bank bits " +
+              std::to_string(sel.b_min) + ".." + std::to_string(sel.b_max));
+    return sel;
+  }
+
+  // Enumerate the pool: every combination of candidate bits exactly once.
+  // Skipping addresses that already have a miss bit set (then OR-ing the
+  // miss mask in) dedupes without a separate pass.
+  const std::uint64_t step = std::uint64_t{1} << sel.b_min;
+  for (std::uint64_t p = sel.p_start; p < sel.p_end; p += step) {
+    if ((p & sel.miss_mask) != 0) continue;
+    const std::uint64_t selected = p | sel.miss_mask;
+    if (!buffer.contains_page(selected / os::kPageSize)) continue;
+    sel.pool.push_back(selected);
+  }
+
+  log_info("selection: range [" + std::to_string(sel.p_start) + ", " +
+           std::to_string(sel.p_end) + ") pool=" +
+           std::to_string(sel.pool.size()));
+  DRAMDIG_ENSURES(!sel.pool.empty());
+  return sel;
+}
+
+}  // namespace dramdig::core

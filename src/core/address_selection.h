@@ -1,0 +1,38 @@
+// Step 2 phase 1: physical-address selection (paper Algorithm 1).
+//
+// Goal: a pool of physical addresses that enumerates *every* combination of
+// the candidate bank bits exactly once while all other bits stay fixed —
+// then bank functions are the only thing distinguishing pool members.
+// Requires a physically contiguous region spanning bit positions
+// [b_min, b_max]; in-range bits that are not candidates (the paper's
+// miss_mask) are pinned so the pool stays small: this is where domain
+// knowledge turns DRAMA's blind sampling into a minimal designed
+// experiment (16384 addresses on the Skylake 16 GiB machines, 64 on the
+// smallest — the counts Section IV-B reports).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "os/address_space.h"
+
+namespace dramdig::core {
+
+struct selection_result {
+  bool found = false;
+  std::uint64_t p_start = 0;      ///< contiguous range start (inclusive)
+  std::uint64_t p_end = 0;        ///< range end (exclusive)
+  std::uint64_t range_mask = 0;   ///< bits [b_min, b_max]
+  std::uint64_t miss_mask = 0;    ///< in-range non-candidate bits (pinned 1)
+  unsigned b_min = 0;
+  unsigned b_max = 0;
+  std::vector<std::uint64_t> pool;  ///< deduplicated selected addresses
+};
+
+/// Run Algorithm 1 over the buffer for candidate bank bits `bank_bits`
+/// (ascending). Returns found=false when no contiguous backing range
+/// covers the bank-bit span (heavily fragmented system).
+[[nodiscard]] selection_result select_addresses(
+    const os::mapping_region& buffer, const std::vector<unsigned>& bank_bits);
+
+}  // namespace dramdig::core

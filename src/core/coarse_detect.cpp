@@ -1,0 +1,94 @@
+#include "core/coarse_detect.h"
+
+#include <algorithm>
+
+#include "core/probe_util.h"
+#include "util/expect.h"
+#include "util/log.h"
+
+namespace dramdig::core {
+
+namespace {
+
+/// Majority vote over several independently chosen pairs with the same bit
+/// delta, using the min-filtered predicate: a background-load burst can
+/// span this whole phase, and a burst-length stretch of one-sided
+/// contamination would otherwise flip half the single-bit verdicts.
+/// Returns nullopt when no measurable pair exists.
+std::optional<bool> vote_sbdr(timing::channel& channel,
+                              const os::mapping_region& buffer,
+                              std::uint64_t delta, unsigned votes,
+                              unsigned attempts, rng& r) {
+  unsigned high = 0, cast = 0;
+  for (unsigned v = 0; v < votes; ++v) {
+    const auto pair = pick_pair_with_delta(buffer, delta, r, attempts);
+    if (!pair) continue;
+    ++cast;
+    if (channel.is_sbdr_strict(pair->first, pair->second)) ++high;
+  }
+  if (cast == 0) return std::nullopt;
+  return high * 2 > cast;
+}
+
+}  // namespace
+
+coarse_result run_coarse_detection(timing::channel& channel,
+                                   const os::mapping_region& buffer,
+                                   const domain_knowledge& knowledge, rng& r,
+                                   const coarse_config& config) {
+  DRAMDIG_EXPECTS(channel.calibrated());
+  coarse_result result;
+
+  // --- Row pass: single-bit deltas. -------------------------------------
+  std::vector<unsigned> non_row;
+  for (unsigned b = knowledge.min_probe_bit; b < knowledge.address_bits; ++b) {
+    const auto verdict = vote_sbdr(channel, buffer, std::uint64_t{1} << b,
+                                   config.votes, config.pair_attempts, r);
+    if (!verdict) {
+      result.untestable_bits.push_back(b);
+      continue;
+    }
+    if (*verdict) {
+      result.row_bits.push_back(b);
+    } else {
+      non_row.push_back(b);
+    }
+  }
+  if (result.row_bits.empty()) {
+    // Without a single row-only bit the column pass cannot run; the
+    // orchestrator treats this as a failed attempt.
+    log_error("coarse: no row bits detected");
+    result.bank_bits = non_row;
+    return result;
+  }
+
+  // --- Column pass: (known row bit, candidate) deltas. -------------------
+  // Use a row bit that is low enough to pair easily; any row-only bit
+  // keeps the bank fixed by definition.
+  const unsigned row_ref = result.row_bits.front();
+  for (unsigned b : non_row) {
+    const std::uint64_t delta =
+        (std::uint64_t{1} << row_ref) | (std::uint64_t{1} << b);
+    const auto verdict = vote_sbdr(channel, buffer, delta, config.votes,
+                                   config.pair_attempts, r);
+    if (verdict && *verdict) {
+      result.column_bits.push_back(b);
+    } else {
+      result.bank_bits.push_back(b);
+    }
+  }
+
+  // Knowledge: bits below the cache-line size address bytes within one
+  // 64-byte burst — columns by construction, unmeasurable by timing.
+  for (unsigned b = 0; b < knowledge.min_probe_bit; ++b) {
+    result.column_bits.push_back(b);
+  }
+  std::sort(result.column_bits.begin(), result.column_bits.end());
+
+  log_info("coarse: rows=" + std::to_string(result.row_bits.size()) +
+           " cols=" + std::to_string(result.column_bits.size()) +
+           " covered=" + std::to_string(result.bank_bits.size()));
+  return result;
+}
+
+}  // namespace dramdig::core

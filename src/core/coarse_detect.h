@@ -1,0 +1,39 @@
+// Step 1: coarse-grained row & column bit detection (paper Section III-C).
+//
+// Row bits: flip one physical-address bit; if the pair measures slow the
+// two addresses are same-bank-different-row, so the flipped bit addresses
+// rows (and nothing else). Column bits: flip a known row bit together with
+// a candidate bit; slow means the candidate kept the bank (and the row bit
+// supplied the conflict), so the candidate addresses columns. Everything
+// left over is a (possible) bank bit — including the row/column bits that
+// also feed bank functions, which stay "covered" until Step 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/domain_knowledge.h"
+#include "os/address_space.h"
+#include "timing/channel.h"
+#include "util/rng.h"
+
+namespace dramdig::core {
+
+struct coarse_config {
+  unsigned votes = 7;             ///< pairs measured per bit, majority wins
+  unsigned pair_attempts = 256;   ///< random bases tried to find a pair
+};
+
+struct coarse_result {
+  std::vector<unsigned> row_bits;     ///< row-only bits found by timing
+  std::vector<unsigned> column_bits;  ///< knowledge low bits + detected
+  std::vector<unsigned> bank_bits;    ///< the covered remainder ("B")
+  std::vector<unsigned> untestable_bits;  ///< no measurable pair existed
+};
+
+/// Run Step 1 against the buffer. Requires a calibrated channel.
+[[nodiscard]] coarse_result run_coarse_detection(
+    timing::channel& channel, const os::mapping_region& buffer,
+    const domain_knowledge& knowledge, rng& r, const coarse_config& config = {});
+
+}  // namespace dramdig::core

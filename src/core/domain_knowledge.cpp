@@ -1,0 +1,25 @@
+#include "core/domain_knowledge.h"
+
+#include "util/bitops.h"
+#include "util/expect.h"
+
+namespace dramdig::core {
+
+domain_knowledge domain_knowledge::from_system_info(
+    const sysinfo::system_info& info) {
+  domain_knowledge dk{};
+  dk.system = info;
+  dk.spec = dram::spec_for(info.generation, info.banks_per_rank);
+  dk.address_bits = log2_exact(info.total_bytes);
+  dk.total_banks = info.total_banks();
+  dk.bank_function_count = log2_exact(dk.total_banks);
+  dk.expected_column_bits = dram::expected_column_bits(dk.spec);
+  dk.expected_row_bits =
+      dram::expected_row_bits(dk.spec, info.total_bytes, dk.total_banks);
+  DRAMDIG_ENSURES(dk.expected_row_bits + dk.expected_column_bits +
+                      dk.bank_function_count ==
+                  dk.address_bits);
+  return dk;
+}
+
+}  // namespace dramdig::core

@@ -1,0 +1,211 @@
+#include "core/dramdig.h"
+
+#include <algorithm>
+
+#include "core/probe_util.h"
+#include "sysinfo/system_info.h"
+#include "util/bitops.h"
+#include "util/expect.h"
+#include "util/log.h"
+
+namespace dramdig::core {
+
+namespace {
+
+/// Phase accounting: capture clock/measurement deltas around a phase.
+class phase_meter {
+ public:
+  phase_meter(sim::memory_controller& mc, phase_stats& stats)
+      : mc_(mc), stats_(stats), t0_(mc.clock().now_ns()),
+        m0_(mc.measurement_count()) {}
+  ~phase_meter() {
+    stats_.seconds += mc_.clock().seconds_since(t0_);
+    stats_.measurements += mc_.measurement_count() - m0_;
+  }
+  phase_meter(const phase_meter&) = delete;
+  phase_meter& operator=(const phase_meter&) = delete;
+
+ private:
+  sim::memory_controller& mc_;
+  phase_stats& stats_;
+  std::uint64_t t0_;
+  std::uint64_t m0_;
+};
+
+}  // namespace
+
+dramdig_tool::dramdig_tool(environment& env, dramdig_config config)
+    : env_(env), config_(config) {
+  DRAMDIG_EXPECTS(config_.buffer_fraction > 0.0 &&
+                  config_.buffer_fraction < 0.95);
+}
+
+dramdig_report dramdig_tool::run() {
+  dramdig_report report;
+  auto& mc = env_.mach().controller();
+  const std::uint64_t t_begin = mc.clock().now_ns();
+  const std::uint64_t m_begin = mc.measurement_count();
+  rng r(env_.seed() ^ config_.tool_seed * 0x9e3779b97f4a7c15ull);
+  const auto finish = [&]() {
+    report.total_seconds = mc.clock().seconds_since(t_begin);
+    report.total_measurements = mc.measurement_count() - m_begin;
+  };
+
+  // --- Domain knowledge ---------------------------------------------------
+  // System information comes from the dmidecode/decode-dimms reports; the
+  // ablation variant only trusts the memory size (always readable from
+  // /proc/meminfo) and must discover the bank count by trial.
+  const sysinfo::system_info info = sysinfo::probe(env_.spec());
+  domain_knowledge knowledge = domain_knowledge::from_system_info(info);
+
+  // --- Buffer + calibration ------------------------------------------------
+  const os::mapping_region& buffer = env_.space().map_buffer(
+      static_cast<std::uint64_t>(config_.buffer_fraction *
+                                 static_cast<double>(info.total_bytes)));
+  timing::channel channel(mc, config_.channel, r.fork());
+  {
+    phase_meter meter(mc, report.calibration);
+    const auto pool = sample_addresses(buffer, 2048, r);
+    report.threshold_ns = channel.calibrate(pool);
+  }
+  log_info("dramdig: threshold " + std::to_string(report.threshold_ns) + "ns");
+
+  // --- Step 1: coarse detection --------------------------------------------
+  coarse_result coarse;
+  {
+    phase_meter meter(mc, report.coarse);
+    coarse = run_coarse_detection(channel, buffer, knowledge, r,
+                                  config_.coarse);
+  }
+  report.coarse_detail = coarse;
+  if (coarse.row_bits.empty() || coarse.bank_bits.empty()) {
+    report.failure_reason = "coarse detection found no usable partition of bits";
+    finish();
+    return report;
+  }
+
+  // --- Step 2: selection ---------------------------------------------------
+  selection_result selection;
+  {
+    phase_meter meter(mc, report.selection);
+    selection = select_addresses(buffer, coarse.bank_bits);
+  }
+  if (!selection.found) {
+    report.failure_reason =
+        "no physically contiguous range spans the bank bits (fragmented "
+        "memory)";
+    finish();
+    return report;
+  }
+  report.pool_size = selection.pool.size();
+
+  // Candidate bank counts: with system information there is exactly one;
+  // the knowledge ablation has to sweep plausible DDR configurations.
+  std::vector<unsigned> bank_count_candidates;
+  if (config_.use_system_info) {
+    bank_count_candidates.push_back(knowledge.total_banks);
+  } else {
+    // Largest first: a partition that validates against a small bank count
+    // could be a coincidence of a coarse pile split, so the blind sweep
+    // rules out the high counts before settling.
+    bank_count_candidates = {64, 32, 16, 8};
+  }
+
+  // --- Step 2: partition + function resolving, with retries ----------------
+  // A failed attempt widens the pool with known row bits before retrying:
+  // varying a row bit multiplies the pool without growing the pivot's
+  // same-row class, so piles move back into the acceptance window. This is
+  // the practical "delta and per_threshold can be adjusted" escape hatch
+  // of Section III-D, driven by knowledge instead of hand tuning.
+  function_outcome functions;
+  partition_outcome partition;
+  unsigned assumed_banks = 0;
+  std::vector<std::uint64_t> pool = selection.pool;
+  for (unsigned attempt = 0; attempt < config_.max_attempts && !functions.success;
+       ++attempt) {
+    report.attempts_used = attempt + 1;
+    if (attempt > 0 && pool.size() < 32768) {
+      // Extend the selection bit set by the lowest still-unused row bits.
+      std::vector<unsigned> bits = coarse.bank_bits;
+      for (unsigned i = 0; i < attempt && i < coarse.row_bits.size(); ++i) {
+        bits.push_back(coarse.row_bits[i]);
+      }
+      std::sort(bits.begin(), bits.end());
+      phase_meter meter(mc, report.selection);
+      const selection_result wider = select_addresses(buffer, bits);
+      if (wider.found) {
+        pool = wider.pool;
+        report.pool_size = pool.size();
+      }
+    }
+    for (unsigned banks : bank_count_candidates) {
+      if (pool.size() < banks * 2) continue;  // cannot resolve
+      partition_outcome po;
+      {
+        phase_meter meter(mc, report.partition);
+        po = partition_pool(channel, pool, banks, r, config_.partition);
+      }
+      if (!po.success) continue;
+      function_outcome fo;
+      {
+        phase_meter meter(mc, report.functions);
+        fo = detect_functions(po.piles, coarse.bank_bits, banks,
+                              mc.clock(), config_.functions);
+      }
+      if (fo.success) {
+        functions = fo;
+        partition = std::move(po);
+        assumed_banks = banks;
+        break;
+      }
+    }
+  }
+  if (!functions.success) {
+    report.failure_reason = functions.failure_reason.empty()
+                                ? "partition never stabilized"
+                                : functions.failure_reason;
+    finish();
+    return report;
+  }
+  report.pile_count = partition.piles.size();
+  report.assumed_bank_count = assumed_banks;
+  report.bank_functions = functions.functions;
+
+  // --- Step 3: fine-grained detection --------------------------------------
+  fine_outcome fine;
+  if (config_.use_spec_counts) {
+    phase_meter meter(mc, report.fine);
+    fine = run_fine_detection(channel, buffer, knowledge, coarse,
+                              functions.functions, r, config_.fine);
+  } else {
+    // Spec-count ablation: no way to know how many shared bits remain; the
+    // coarse classification is all the tool can report.
+    fine.row_bits = coarse.row_bits;
+    fine.column_bits = coarse.column_bits;
+    fine.counts_satisfied = false;
+  }
+  report.fine_detail = fine;
+
+  // --- Assemble + validate --------------------------------------------------
+  dram::address_mapping hypothesis(functions.functions, fine.row_bits,
+                                   fine.column_bits, knowledge.address_bits);
+  const bool bijective = hypothesis.is_bijective();
+  report.mapping = std::move(hypothesis);
+  report.success = bijective && functions.numbering_ok &&
+                   (!config_.use_spec_counts || fine.counts_satisfied);
+  if (!report.success && report.failure_reason.empty()) {
+    report.failure_reason = !bijective
+                                ? "hypothesis is not a bijection"
+                                : (!functions.numbering_ok
+                                       ? "piles not numbered 0..#banks-1"
+                                       : "row/column counts incomplete");
+  }
+
+  finish();
+  log_info("dramdig: " + std::string(report.success ? "success" : "FAILED") +
+           " in " + std::to_string(report.total_seconds) + "s, " +
+           std::to_string(report.total_measurements) + " measurements");
+  return report;
+}
+
+}  // namespace dramdig::core

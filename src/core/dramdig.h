@@ -1,0 +1,86 @@
+// The DRAMDig tool: the paper's three-step pipeline wired together.
+//
+//   Step 1  coarse row/column detection          (coarse_detect)
+//   Step 2  address selection + partition + bank function resolving
+//           (address_selection, partition, function_detect)
+//   Step 3  fine-grained shared-bit detection    (fine_detect)
+//
+// The tool only touches the machine through the timing channel and the
+// simulated OS (mmap + pagemap + dmidecode/decode-dimms text); the report
+// carries the reverse-engineered mapping plus per-phase virtual time and
+// measurement counts — the quantities behind Table II and Fig. 2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/address_selection.h"
+#include "core/coarse_detect.h"
+#include "core/environment.h"
+#include "core/fine_detect.h"
+#include "core/function_detect.h"
+#include "core/partition.h"
+#include "dram/mapping.h"
+#include "timing/channel.h"
+
+namespace dramdig::core {
+
+struct dramdig_config {
+  /// Fraction of installed memory the tool maps (the real tool allocates
+  /// most of free RAM so Algorithm 1 finds its contiguous range).
+  double buffer_fraction = 0.55;
+  timing::channel_config channel{.rounds_per_measurement = 1000,
+                                 .samples_per_latency = 3,
+                                 .calibration_pairs = 1500};
+  coarse_config coarse{};
+  partition_config partition{};
+  function_config functions{};
+  fine_config fine{};
+  /// Partition/function-resolution retries before giving up.
+  unsigned max_attempts = 3;
+  /// Ablation switches: without system information the tool must guess the
+  /// bank count; without spec counts Step 3 cannot complete shared bits.
+  bool use_system_info = true;
+  bool use_spec_counts = true;
+  std::uint64_t tool_seed = 1;
+};
+
+struct phase_stats {
+  double seconds = 0.0;
+  std::uint64_t measurements = 0;
+};
+
+struct dramdig_report {
+  bool success = false;
+  std::optional<dram::address_mapping> mapping;
+  std::string failure_reason;
+
+  phase_stats calibration, coarse, selection, partition, functions, fine;
+  double total_seconds = 0.0;
+  std::uint64_t total_measurements = 0;
+
+  std::size_t pool_size = 0;
+  std::size_t pile_count = 0;
+  unsigned attempts_used = 0;
+  unsigned assumed_bank_count = 0;  ///< differs from truth only in ablation
+  double threshold_ns = 0.0;
+
+  coarse_result coarse_detail;
+  fine_outcome fine_detail;
+  std::vector<std::uint64_t> bank_functions;
+};
+
+class dramdig_tool {
+ public:
+  explicit dramdig_tool(environment& env, dramdig_config config = {});
+
+  /// Run the full pipeline once. Each call maps a fresh buffer.
+  [[nodiscard]] dramdig_report run();
+
+ private:
+  environment& env_;
+  dramdig_config config_;
+};
+
+}  // namespace dramdig::core

@@ -1,0 +1,21 @@
+#include "core/environment.h"
+
+namespace dramdig::core {
+
+namespace {
+os::physical_memory_config phys_config(const dram::machine_spec& spec,
+                                       double fragmentation) {
+  os::physical_memory_config cfg{};
+  cfg.total_bytes = spec.memory_bytes;
+  cfg.fragmentation = fragmentation;
+  return cfg;
+}
+}  // namespace
+
+environment::environment(const dram::machine_spec& spec, std::uint64_t seed,
+                         double fragmentation)
+    : machine_(spec, seed, sim::timing_profile_for(spec)),
+      phys_(phys_config(spec, fragmentation), rng(seed ^ 0x05a11c)),
+      space_(phys_) {}
+
+}  // namespace dramdig::core

@@ -1,0 +1,37 @@
+// A complete device-under-test: the simulated machine plus its simulated
+// OS. Tools, examples, tests and benchmarks all construct one of these and
+// interact with the machine exclusively through timed accesses (the timing
+// channel), mmap'd buffers and pagemap lookups — the same interface the
+// real tools have.
+#pragma once
+
+#include <cstdint>
+
+#include "dram/presets.h"
+#include "os/address_space.h"
+#include "os/physical_memory.h"
+#include "sim/machine.h"
+#include "sim/profiles.h"
+
+namespace dramdig::core {
+
+class environment {
+ public:
+  environment(const dram::machine_spec& spec, std::uint64_t seed,
+              double fragmentation = 0.1);
+
+  [[nodiscard]] sim::machine& mach() noexcept { return machine_; }
+  [[nodiscard]] os::physical_memory& phys() noexcept { return phys_; }
+  [[nodiscard]] os::address_space& space() noexcept { return space_; }
+  [[nodiscard]] const dram::machine_spec& spec() const noexcept {
+    return machine_.spec();
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return machine_.seed(); }
+
+ private:
+  sim::machine machine_;
+  os::physical_memory phys_;
+  os::address_space space_;
+};
+
+}  // namespace dramdig::core

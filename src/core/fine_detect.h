@@ -1,0 +1,56 @@
+// Step 3: fine-grained row & column bit detection (paper Section III-E).
+//
+// After Step 2 the bank functions are known exactly, and the JEDEC spec
+// says how many row and column bits must exist — so the bits still
+// "covered" are the rows/columns that double as bank-function inputs.
+//
+// Rows: for each bank function (fewest bits first) the paper takes the
+// higher bit as the row candidate and confirms with a timed pair that
+// differs only in bits that keep every resolved function invariant. A
+// plain two-bit flip is not always bank-invariant (a bit may feed a wider
+// function too — bit 18 on machine No.2 feeds both (14,18) and the 7-bit
+// channel function), so the delta is completed through the GF(2) null
+// space of the resolved functions; high latency confirms a row bit rides
+// in the delta, low latency refutes the candidate (exactly what rejects
+// the pure bank bit 14 proposed by (7,14) on Skylake machines).
+//
+// Columns: knowledge-driven as in the paper. Candidates are the
+// function-feeding bits not yet classified; if a unique widest function
+// exists, its lowest bit is excluded (the "since Ivy Bridge" empirical
+// rule); the remaining candidates are taken lowest-first until the spec
+// count is met.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coarse_detect.h"
+#include "core/domain_knowledge.h"
+#include "os/address_space.h"
+#include "timing/channel.h"
+#include "util/rng.h"
+
+namespace dramdig::core {
+
+struct fine_config {
+  unsigned votes = 3;            ///< measurements per candidate delta
+  unsigned pair_attempts = 256;
+};
+
+struct fine_outcome {
+  std::vector<unsigned> row_bits;          ///< complete, sorted
+  std::vector<unsigned> column_bits;       ///< complete, sorted
+  std::vector<unsigned> shared_row_bits;   ///< rows recovered in this step
+  std::vector<unsigned> shared_column_bits;
+  std::vector<unsigned> rejected_candidates;  ///< refuted by timing
+  bool counts_satisfied = false;  ///< row/col counts match the spec
+  bool timing_verified = true;    ///< no accepted candidate lacked a probe
+};
+
+[[nodiscard]] fine_outcome run_fine_detection(
+    timing::channel& channel, const os::mapping_region& buffer,
+    const domain_knowledge& knowledge, const coarse_result& coarse,
+    const std::vector<std::uint64_t>& bank_functions, rng& r,
+    const fine_config& config = {});
+
+}  // namespace dramdig::core

@@ -1,0 +1,126 @@
+#include "core/function_detect.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "util/bitops.h"
+#include "util/combinatorics.h"
+#include "util/expect.h"
+#include "util/gf2.h"
+#include "util/log.h"
+
+namespace dramdig::core {
+
+namespace {
+
+/// Does `mask` XOR to the same bit on every address of the pile?
+bool constant_on_pile(std::uint64_t mask,
+                      const std::vector<std::uint64_t>& pile,
+                      std::uint64_t& checks) {
+  const unsigned want = parity(pile.front(), mask);
+  for (std::size_t i = 1; i < pile.size(); ++i) {
+    ++checks;
+    if (parity(pile[i], mask) != want) return false;
+  }
+  return true;
+}
+
+/// Bank ids assigned by `funcs` to each pile's pivot; valid numbering means
+/// all distinct, and covering 0..#banks-1 when every bank has a pile. A
+/// partition that produced fewer than half the banks carries too little
+/// information to count anything — reject it so the orchestrator retries.
+bool numbers_piles(const std::vector<std::uint64_t>& funcs,
+                   const std::vector<std::vector<std::uint64_t>>& piles,
+                   unsigned bank_count) {
+  if (piles.size() < std::max<std::size_t>(2, bank_count / 2)) return false;
+  std::set<std::uint64_t> ids;
+  for (const auto& pile : piles) {
+    std::uint64_t id = 0;
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+      id |= static_cast<std::uint64_t>(parity(pile.front(), funcs[i])) << i;
+    }
+    if (!ids.insert(id).second) return false;  // two piles, same bank id
+  }
+  if (piles.size() == bank_count) {
+    // Complete partition: ids must be exactly 0..#banks-1.
+    return ids.size() == bank_count && *ids.rbegin() == bank_count - 1 &&
+           *ids.begin() == 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+function_outcome detect_functions(
+    const std::vector<std::vector<std::uint64_t>>& piles,
+    const std::vector<unsigned>& bank_bits, unsigned bank_count,
+    sim::virtual_clock& clock, const function_config& config) {
+  DRAMDIG_EXPECTS(!piles.empty());
+  DRAMDIG_EXPECTS(!bank_bits.empty());
+  function_outcome out;
+  const unsigned want = log2_exact(bank_count);
+  std::uint64_t checks = 0;
+
+  // gen_xor_masks(B): every combination of bank bits, 1 bit .. all bits,
+  // kept when constant on every pile.
+  std::vector<std::uint64_t> candidates;
+  for_each_bit_combination(
+      bank_bits, 1, static_cast<unsigned>(bank_bits.size()),
+      [&](std::uint64_t mask) {
+        for (const auto& pile : piles) {
+          if (!constant_on_pile(mask, pile, checks)) return true;  // next mask
+        }
+        candidates.push_back(mask);
+        return true;
+      });
+  out.raw_candidates = candidates.size();
+  clock.advance_ns(static_cast<std::uint64_t>(
+      static_cast<double>(checks) * config.cpu_ns_per_check));
+
+  // prioritize + remove_redundant: minimal independent basis preferring
+  // fewer-bit functions.
+  std::vector<std::uint64_t> basis = gf2::minimal_basis(candidates);
+
+  if (basis.size() < want) {
+    out.failure_reason = "only " + std::to_string(basis.size()) + " of " +
+                         std::to_string(want) + " independent functions";
+    return out;
+  }
+
+  if (basis.size() == want) {
+    out.functions = basis;
+    out.numbering_ok = numbers_piles(basis, piles, bank_count);
+    out.success = true;
+    return out;
+  }
+
+  // More independent candidates than log2(#banks): try every subset of the
+  // right size and keep the one that numbers the piles correctly
+  // (check_numbering). Subset count is tiny in practice.
+  std::vector<unsigned> index(basis.size());
+  for (unsigned i = 0; i < basis.size(); ++i) index[i] = i;
+  bool found = false;
+  for_each_bit_combination(
+      index, want, want, [&](std::uint64_t subset_mask) {
+        std::vector<std::uint64_t> subset;
+        for (unsigned i : bits_of_mask(subset_mask)) subset.push_back(basis[i]);
+        if (gf2::rank(subset) == want &&
+            numbers_piles(subset, piles, bank_count)) {
+          out.functions = subset;
+          found = true;
+          return false;  // stop enumeration
+        }
+        return true;
+      });
+  if (!found) {
+    out.failure_reason = "no size-" + std::to_string(want) +
+                         " subset numbers the piles consistently";
+    return out;
+  }
+  out.numbering_ok = true;
+  out.success = true;
+  return out;
+}
+
+}  // namespace dramdig::core

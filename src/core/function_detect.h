@@ -1,0 +1,39 @@
+// Step 2 phase 3: bank address function detection (paper Algorithm 3).
+//
+// Candidate functions are XOR masks over the detected bank bits, tried
+// from one bit up to all of them. A mask that evaluates to a constant
+// parity on every address of every pile is a candidate; candidates that
+// are linear combinations of fewer-bit candidates are redundant (GF(2)
+// reduction implements the paper's prioritize + remove_redundant); and the
+// surviving log2(#banks)-sized basis must number the piles 0..#banks-1
+// (check_numbering).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/virtual_clock.h"
+
+namespace dramdig::core {
+
+struct function_config {
+  /// Virtual CPU time charged per parity evaluation; keeps Fig. 2 honest
+  /// about the (small) software cost of the search.
+  double cpu_ns_per_check = 1.0;
+};
+
+struct function_outcome {
+  bool success = false;
+  std::vector<std::uint64_t> functions;  ///< minimal basis
+  bool numbering_ok = false;
+  std::size_t raw_candidates = 0;  ///< masks surviving all piles
+  std::string failure_reason;
+};
+
+[[nodiscard]] function_outcome detect_functions(
+    const std::vector<std::vector<std::uint64_t>>& piles,
+    const std::vector<unsigned>& bank_bits, unsigned bank_count,
+    sim::virtual_clock& clock, const function_config& config = {});
+
+}  // namespace dramdig::core

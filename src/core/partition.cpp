@@ -1,0 +1,91 @@
+#include "core/partition.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+#include "util/log.h"
+
+namespace dramdig::core {
+
+partition_outcome partition_pool(timing::channel& channel,
+                                 std::vector<std::uint64_t> pool,
+                                 unsigned bank_count, rng& r,
+                                 const partition_config& config) {
+  DRAMDIG_EXPECTS(bank_count >= 2);
+  DRAMDIG_EXPECTS(pool.size() >= bank_count);
+  partition_outcome out;
+
+  const std::size_t pool_sz = pool.size();
+  const double pile_sz =
+      static_cast<double>(pool_sz) / static_cast<double>(bank_count);
+  const double lo = (1.0 - config.delta_lower) * pile_sz;
+  const double hi = (1.0 + config.delta) * pile_sz;
+  const std::size_t stop_at = static_cast<std::size_t>(
+      (1.0 - config.per_threshold) * static_cast<double>(pool_sz));
+  const unsigned max_attempts = config.max_pivot_attempts != 0
+                                    ? config.max_pivot_attempts
+                                    : 4 * bank_count + 32;
+
+  unsigned attempts = 0;
+  while (pool.size() > stop_at) {
+    if (attempts++ >= max_attempts) {
+      log_error("partition: exceeded pivot attempts with " +
+                std::to_string(pool.size()) + " addresses unassigned");
+      return out;  // success stays false
+    }
+    const std::size_t pivot_idx = r.below(pool.size());
+    const std::uint64_t pivot = pool[pivot_idx];
+
+    // Fast scan: one sample per pair.
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (i == pivot_idx) continue;
+      if (channel.is_sbdr_fast(pivot, pool[i])) candidates.push_back(i);
+    }
+    // Verification pass: positives re-measured with the min filter so a
+    // contaminated sample — or a whole background-load burst — cannot
+    // plant a wrong-bank address in the pile. A single polluted pile
+    // would erase a true function from Algorithm 3's intersection.
+    std::vector<std::size_t> members;
+    if (config.verify_positives) {
+      members.reserve(candidates.size());
+      for (std::size_t i : candidates) {
+        if (channel.is_sbdr_strict(pivot, pool[i])) members.push_back(i);
+      }
+    } else {
+      members = std::move(candidates);
+    }
+
+    // Pile size counts the pivot: the pile *is* a bank-sized class, and on
+    // tiny pools (64 addresses / 8 banks) excluding the pivot would push
+    // legitimate piles just below the delta window.
+    const double size = static_cast<double>(members.size() + 1);
+    if (size < lo || size > hi) {
+      ++out.rejected_piles;
+      continue;
+    }
+
+    // Accept: extract pivot + members from the pool.
+    std::vector<std::uint64_t> pile;
+    pile.reserve(members.size() + 1);
+    pile.push_back(pivot);
+    for (std::size_t i : members) pile.push_back(pool[i]);
+    out.partitioned += pile.size();
+
+    members.push_back(pivot_idx);
+    std::sort(members.begin(), members.end(), std::greater<>());
+    for (std::size_t i : members) {
+      pool[i] = pool.back();
+      pool.pop_back();
+    }
+    out.piles.push_back(std::move(pile));
+  }
+
+  out.success = true;
+  log_info("partition: " + std::to_string(out.piles.size()) + " piles, " +
+           std::to_string(out.partitioned) + "/" + std::to_string(pool_sz) +
+           " assigned, " + std::to_string(out.rejected_piles) + " rejected");
+  return out;
+}
+
+}  // namespace dramdig::core

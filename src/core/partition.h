@@ -1,0 +1,48 @@
+// Step 2 phase 2: physical-address partition (paper Algorithm 2).
+//
+// Repeatedly pick a pivot, measure it against the remaining pool, and peel
+// off its same-bank pile. Noise tolerance is built in twice, exactly as
+// the paper describes: a pile is accepted only if its size is within
+// 1 ± delta of pool/#banks, and the loop stops once per_threshold of the
+// pool has been assigned (stragglers lost to misreads don't block
+// termination). On top of the paper's description, positives from the
+// single-sample scan are re-verified with median-of-k measurements before
+// they can pollute a pile — cheap (piles are small) and the reason the
+// detected functions stay deterministic on noisy machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "timing/channel.h"
+#include "util/rng.h"
+
+namespace dramdig::core {
+
+struct partition_config {
+  double delta = 0.2;           ///< upper pile-size tolerance (paper: 0.2)
+  /// Lower tolerance is wider than the paper's symmetric delta: a pile is
+  /// "addresses SBDR with the pivot", which excludes the pivot's same-row
+  /// mates (same bank, same row, different column). On machines whose wide
+  /// channel function feeds several column bits those classes are up to a
+  /// quarter of each bank's addresses, so with small designed pools a
+  /// perfectly clean pile legitimately sits well below pool/#banks.
+  double delta_lower = 0.4;
+  double per_threshold = 0.85;  ///< stop when this fraction is partitioned
+  unsigned max_pivot_attempts = 0;  ///< 0 = 4 * #banks + 32
+  bool verify_positives = true;     ///< strict re-check of scan positives
+};
+
+struct partition_outcome {
+  bool success = false;
+  /// Piles of same-bank addresses; element 0 of each pile is its pivot.
+  std::vector<std::vector<std::uint64_t>> piles;
+  std::size_t partitioned = 0;  ///< addresses assigned to piles
+  unsigned rejected_piles = 0;  ///< piles outside the delta window
+};
+
+[[nodiscard]] partition_outcome partition_pool(
+    timing::channel& channel, std::vector<std::uint64_t> pool,
+    unsigned bank_count, rng& r, const partition_config& config = {});
+
+}  // namespace dramdig::core

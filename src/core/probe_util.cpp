@@ -1,0 +1,38 @@
+#include "core/probe_util.h"
+
+#include "util/expect.h"
+
+namespace dramdig::core {
+
+std::uint64_t random_buffer_address(const os::mapping_region& buffer,
+                                    rng& r) {
+  const auto& pfns = buffer.sorted_pfns();
+  DRAMDIG_EXPECTS(!pfns.empty());
+  const std::uint64_t pfn = pfns[r.below(pfns.size())];
+  const std::uint64_t line = r.below(os::kPageSize / 64);
+  return pfn * os::kPageSize + line * 64;
+}
+
+std::optional<std::pair<std::uint64_t, std::uint64_t>> pick_pair_with_delta(
+    const os::mapping_region& buffer, std::uint64_t delta, rng& r,
+    unsigned attempts) {
+  DRAMDIG_EXPECTS(delta != 0);
+  for (unsigned i = 0; i < attempts; ++i) {
+    const std::uint64_t p = random_buffer_address(buffer, r) & ~std::uint64_t{63};
+    const std::uint64_t q = p ^ delta;
+    if (buffer.contains_page(q / os::kPageSize)) return std::make_pair(p, q);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint64_t> sample_addresses(const os::mapping_region& buffer,
+                                            std::size_t count, rng& r) {
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(random_buffer_address(buffer, r));
+  }
+  return out;
+}
+
+}  // namespace dramdig::core

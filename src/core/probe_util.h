@@ -1,0 +1,35 @@
+// Helpers for picking measurable address pairs out of an allocated buffer.
+//
+// Every probing step needs pairs (p, p ^ delta) where both sides are backed
+// by the tool's buffer. Bits below the page size are always satisfiable
+// inside one page; higher bits require the partner frame to be present,
+// which the picker verifies against the buffer's pagemap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "os/address_space.h"
+#include "util/rng.h"
+
+namespace dramdig::core {
+
+/// A random cache-line-aligned physical address inside the buffer.
+[[nodiscard]] std::uint64_t random_buffer_address(
+    const os::mapping_region& buffer, rng& r);
+
+/// Find (p, p ^ delta) with both physical pages inside the buffer; tries
+/// up to `attempts` random bases. The low 6 bits of p are cleared so pairs
+/// are cache-line aligned.
+[[nodiscard]] std::optional<std::pair<std::uint64_t, std::uint64_t>>
+pick_pair_with_delta(const os::mapping_region& buffer, std::uint64_t delta,
+                     rng& r, unsigned attempts = 256);
+
+/// A sample pool of random buffer addresses (used for threshold
+/// calibration).
+[[nodiscard]] std::vector<std::uint64_t> sample_addresses(
+    const os::mapping_region& buffer, std::size_t count, rng& r);
+
+}  // namespace dramdig::core

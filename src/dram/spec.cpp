@@ -1,0 +1,38 @@
+#include "dram/spec.h"
+
+#include "util/bitops.h"
+#include "util/expect.h"
+
+namespace dramdig::dram {
+
+std::string to_string(ddr_generation gen) {
+  return gen == ddr_generation::ddr3 ? "DDR3" : "DDR4";
+}
+
+chip_spec spec_for(ddr_generation gen, unsigned banks_per_rank) {
+  DRAMDIG_EXPECTS(banks_per_rank == 8 || banks_per_rank == 16);
+  chip_spec s{};
+  s.generation = gen;
+  s.banks_per_rank = banks_per_rank;
+  s.row_bytes = 8 * 1024;  // 1Ki columns x 64-bit bus on all paper machines
+  s.refresh_interval_ms = 64.0;
+  if (gen == ddr_generation::ddr3) {
+    // DDR3 ranks always expose 8 banks.
+    DRAMDIG_EXPECTS(banks_per_rank == 8);
+  }
+  return s;
+}
+
+unsigned expected_column_bits(const chip_spec& spec) {
+  return log2_exact(spec.row_bytes);
+}
+
+unsigned expected_row_bits(const chip_spec& spec, std::uint64_t total_bytes,
+                           unsigned total_banks) {
+  DRAMDIG_EXPECTS(total_banks > 0);
+  const std::uint64_t rows_per_bank =
+      total_bytes / (static_cast<std::uint64_t>(total_banks) * spec.row_bytes);
+  return log2_exact(rows_per_bank);
+}
+
+}  // namespace dramdig::dram

@@ -1,0 +1,45 @@
+// DDR3/DDR4 specification knowledge — the "Specifications" bucket of the
+// paper's domain knowledge (Section III-A): given a DIMM's geometry, how
+// many physical-address bits index rows and columns. DRAMDig Step 3 uses
+// these counts to know how many shared row/column bits remain covered after
+// coarse-grained detection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dramdig::dram {
+
+enum class ddr_generation { ddr3, ddr4 };
+
+[[nodiscard]] std::string to_string(ddr_generation gen);
+
+/// Geometry facts derived from the JEDEC data sheets referenced by the
+/// paper (Micron DDR3 MT41K / DDR4 MT40A families, 64-bit channels).
+struct chip_spec {
+  ddr_generation generation;
+  /// Bytes per DRAM row as seen by one channel (device columns x bus
+  /// width). 1Ki device columns x 8 bytes = 8 KiB on both generations here.
+  std::uint64_t row_bytes;
+  /// Banks per rank (DDR3: 8; DDR4: 16 for x4/x8 devices, 8 for x16).
+  unsigned banks_per_rank;
+  /// DRAM refresh interval in milliseconds (all rows refreshed once per
+  /// interval; rowhammer must beat this window).
+  double refresh_interval_ms;
+};
+
+/// Spec entry for a generation/banks combination.
+[[nodiscard]] chip_spec spec_for(ddr_generation gen, unsigned banks_per_rank);
+
+/// Expected number of physical-address column bits for a machine: the byte
+/// offset within one row buffer, log2(row_bytes). All nine paper machines
+/// have 8 KiB rows => 13 column bits, matching every row of Table II.
+[[nodiscard]] unsigned expected_column_bits(const chip_spec& spec);
+
+/// Expected number of physical-address row bits given the installed memory:
+/// log2(total_bytes / (total_banks * row_bytes)).
+[[nodiscard]] unsigned expected_row_bits(const chip_spec& spec,
+                                         std::uint64_t total_bytes,
+                                         unsigned total_banks);
+
+}  // namespace dramdig::dram

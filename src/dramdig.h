@@ -1,0 +1,32 @@
+// Umbrella header: the public API surface of the DRAMDig reproduction.
+//
+//   #include "dramdig.h"
+//
+//   dramdig::core::environment env(dramdig::dram::machine_by_number(2), 42);
+//   auto report = dramdig::core::dramdig_tool(env).run();
+//
+// Layering (each header is independently includable):
+//   util     -> gf2 algebra, bit ops, rng, stats, histograms
+//   dram     -> address-mapping model, machine presets, JEDEC specs
+//   sim      -> memory controller, timing channel physics, rowhammer faults
+//   os       -> physical memory, address spaces, pagemap
+//   sysinfo  -> dmidecode/decode-dimms reports and parsing
+//   timing   -> the SBDR timing primitive
+//   core     -> the DRAMDig pipeline (this paper's contribution)
+//   baselines-> DRAMA and Xiao et al. comparison tools
+//   rowhammer-> the hypothesis-driven hammer harness
+#pragma once
+
+#include "baselines/drama.h"     // IWYU pragma: export
+#include "baselines/xiao.h"      // IWYU pragma: export
+#include "core/dramdig.h"        // IWYU pragma: export
+#include "core/environment.h"    // IWYU pragma: export
+#include "dram/mapping.h"        // IWYU pragma: export
+#include "dram/presets.h"        // IWYU pragma: export
+#include "dram/spec.h"           // IWYU pragma: export
+#include "rowhammer/harness.h"   // IWYU pragma: export
+#include "sim/machine.h"         // IWYU pragma: export
+#include "sim/profiles.h"        // IWYU pragma: export
+#include "sysinfo/system_info.h" // IWYU pragma: export
+#include "timing/channel.h"      // IWYU pragma: export
+#include "util/log.h"            // IWYU pragma: export

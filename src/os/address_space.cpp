@@ -1,0 +1,87 @@
+#include "os/address_space.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace dramdig::os {
+
+mapping_region::mapping_region(std::uint64_t va_base,
+                               std::vector<extent> backing)
+    : va_base_(va_base), backing_(std::move(backing)) {
+  DRAMDIG_EXPECTS(va_base_ % kPageSize == 0);
+  for (const extent& e : backing_) {
+    for (std::uint64_t i = 0; i < e.page_count; ++i) {
+      page_to_pfn_.push_back(e.first_pfn + i);
+    }
+  }
+  sorted_pfns_ = page_to_pfn_;
+  std::sort(sorted_pfns_.begin(), sorted_pfns_.end());
+}
+
+bool mapping_region::contains_page(std::uint64_t pfn) const {
+  return std::binary_search(sorted_pfns_.begin(), sorted_pfns_.end(), pfn);
+}
+
+std::uint64_t mapping_region::translate(std::uint64_t va) const {
+  DRAMDIG_EXPECTS(va >= va_base_);
+  const std::uint64_t offset = va - va_base_;
+  const std::uint64_t page = offset / kPageSize;
+  DRAMDIG_EXPECTS(page < page_to_pfn_.size());
+  return page_to_pfn_[page] * kPageSize + offset % kPageSize;
+}
+
+std::optional<std::uint64_t> mapping_region::reverse(std::uint64_t pa) const {
+  const std::uint64_t pfn = pa / kPageSize;
+  if (!contains_page(pfn)) return std::nullopt;
+  // Linear probe over the page table; fine for tool-scale usage.
+  for (std::uint64_t page = 0; page < page_to_pfn_.size(); ++page) {
+    if (page_to_pfn_[page] == pfn) {
+      return va_base_ + page * kPageSize + pa % kPageSize;
+    }
+  }
+  return std::nullopt;
+}
+
+bool mapping_region::covers_range(std::uint64_t pa_begin,
+                                  std::uint64_t pa_end) const {
+  DRAMDIG_EXPECTS(pa_begin <= pa_end);
+  // Contiguous range check via the sorted frame list: find pa_begin's
+  // frame, then the whole run must be consecutive entries.
+  const std::uint64_t first = pa_begin / kPageSize;
+  const std::uint64_t last = (pa_end + kPageSize - 1) / kPageSize;  // excl.
+  const auto it =
+      std::lower_bound(sorted_pfns_.begin(), sorted_pfns_.end(), first);
+  if (it == sorted_pfns_.end() || *it != first) return false;
+  const std::uint64_t need = last - first;
+  if (static_cast<std::uint64_t>(sorted_pfns_.end() - it) < need) return false;
+  // Frames are unique, so covering [first, last) means the next `need`
+  // entries are exactly first, first+1, ...
+  return *(it + static_cast<std::ptrdiff_t>(need - 1)) == first + need - 1;
+}
+
+address_space::address_space(physical_memory& phys) : phys_(phys) {}
+
+mapping_region& address_space::map_buffer(std::uint64_t bytes) {
+  auto backing = phys_.allocate(bytes);
+  regions_.emplace_back(next_va_, std::move(backing));
+  next_va_ += ((bytes + kPageSize - 1) / kPageSize + 16) * kPageSize;
+  return regions_.back();
+}
+
+mapping_region& address_space::map_buffer_hugepage(std::uint64_t bytes) {
+  const unsigned huge_count =
+      static_cast<unsigned>(bytes / kHugePageSize);
+  auto backing = phys_.allocate_huge_pages(huge_count);
+  std::uint64_t got = 0;
+  for (const extent& e : backing) got += e.byte_count();
+  if (got < bytes) {
+    auto tail = phys_.allocate(bytes - got);
+    backing.insert(backing.end(), tail.begin(), tail.end());
+  }
+  regions_.emplace_back(next_va_, std::move(backing));
+  next_va_ += ((bytes + kPageSize - 1) / kPageSize + 16) * kPageSize;
+  return regions_.back();
+}
+
+}  // namespace dramdig::os

@@ -1,0 +1,81 @@
+// A process-eye view of memory: contiguous virtual ranges backed by the
+// frames the simulated kernel handed out, plus the pagemap interface the
+// real tools use (DRAMDig reads /proc/self/pagemap as root) to translate
+// virtual to physical addresses.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "os/physical_memory.h"
+
+namespace dramdig::os {
+
+/// One mmap'd buffer: virtually contiguous, physically scattered extents.
+class mapping_region {
+ public:
+  mapping_region(std::uint64_t va_base, std::vector<extent> backing);
+
+  [[nodiscard]] std::uint64_t va_base() const noexcept { return va_base_; }
+  [[nodiscard]] std::uint64_t byte_count() const noexcept {
+    return static_cast<std::uint64_t>(page_to_pfn_.size()) * kPageSize;
+  }
+
+  /// pagemap lookup: virtual address -> physical address.
+  [[nodiscard]] std::uint64_t translate(std::uint64_t va) const;
+
+  /// Reverse lookup: physical address -> virtual address, if this region
+  /// backs that frame.
+  [[nodiscard]] std::optional<std::uint64_t> reverse(std::uint64_t pa) const;
+
+  /// All backing frame numbers, ascending. Tools run their physical-side
+  /// logic (Algorithm 1) over this.
+  [[nodiscard]] const std::vector<std::uint64_t>& sorted_pfns() const noexcept {
+    return sorted_pfns_;
+  }
+
+  /// O(log n) membership: is this physical page part of the buffer?
+  [[nodiscard]] bool contains_page(std::uint64_t pfn) const;
+  /// Is every page of [pa_begin, pa_end) backed? (Algorithm 1's
+  /// page_miss check.)
+  [[nodiscard]] bool covers_range(std::uint64_t pa_begin,
+                                  std::uint64_t pa_end) const;
+
+  [[nodiscard]] const std::vector<extent>& backing() const noexcept {
+    return backing_;
+  }
+
+ private:
+  std::uint64_t va_base_;
+  std::vector<extent> backing_;
+  std::vector<std::uint64_t> page_to_pfn_;   // va page index -> pfn
+  std::vector<std::uint64_t> sorted_pfns_;   // ascending, for membership
+};
+
+/// The process address space: owns regions, hands out va ranges.
+class address_space {
+ public:
+  explicit address_space(physical_memory& phys);
+
+  /// mmap + touch all pages (so frames are committed), 4 KiB granularity.
+  mapping_region& map_buffer(std::uint64_t bytes);
+
+  /// mmap with THP: as many 2 MiB huge pages as the kernel can find, the
+  /// remainder in 4 KiB pages. Mirrors MADV_HUGEPAGE behaviour.
+  mapping_region& map_buffer_hugepage(std::uint64_t bytes);
+
+  /// Regions live in a deque so references returned by map_buffer stay
+  /// valid across later mappings.
+  [[nodiscard]] const std::deque<mapping_region>& regions() const noexcept {
+    return regions_;
+  }
+
+ private:
+  physical_memory& phys_;
+  std::deque<mapping_region> regions_;
+  std::uint64_t next_va_ = 0x7f0000000000ull;
+};
+
+}  // namespace dramdig::os

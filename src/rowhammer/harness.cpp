@@ -1,0 +1,55 @@
+#include "rowhammer/harness.h"
+
+#include "util/expect.h"
+
+namespace dramdig::rowhammer {
+
+hammer_stats run_double_sided_test(sim::machine& machine,
+                                   const dram::address_mapping& hypothesis,
+                                   rng& r, const hammer_config& config) {
+  DRAMDIG_EXPECTS(config.duration_seconds > 0);
+  hammer_stats stats{};
+  auto& faults = machine.faults();
+  auto& clock = machine.clock();
+  faults.reset_flips();
+
+  const std::uint64_t t0 = clock.now_ns();
+  const std::uint64_t row_count = std::uint64_t{1}
+                                  << hypothesis.row_bits().size();
+  const std::uint64_t col_count = std::uint64_t{1}
+                                  << hypothesis.column_bits().size();
+  const std::uint64_t window_ns =
+      static_cast<std::uint64_t>(faults.window_ns());
+
+  while (clock.seconds_since(t0) < config.duration_seconds) {
+    // Victim chosen in hypothesis coordinates; aggressors are the rows the
+    // hypothesis believes sandwich it.
+    const std::uint64_t bank = r.below(hypothesis.bank_count());
+    const std::uint64_t victim = 1 + r.below(row_count > 2 ? row_count - 2 : 1);
+    const std::uint64_t column = r.below(col_count) & ~std::uint64_t{63};
+
+    const auto above = hypothesis.encode(bank, victim - 1, column);
+    const auto below =
+        config.mode == hammer_mode::double_sided
+            ? hypothesis.encode(bank, victim + 1, column)
+            // Single-sided: the partner only exists to force row-buffer
+            // conflicts; pick a distant row of the same bank.
+            : hypothesis.encode(
+                  bank, (victim + row_count / 2) % row_count, column);
+    ++stats.windows;
+    if (!above || !below) {
+      // The tool still burns a hammer window figuring out it can't place
+      // the rows (a real attack would hammer garbage addresses).
+      ++stats.encode_failures;
+      clock.advance_ns(window_ns);
+      continue;
+    }
+    const auto outcome = faults.hammer_pair(*above, *below);
+    stats.bit_flips += outcome.new_flips;
+    if (outcome.effective_hammer) ++stats.true_sbdr;
+    if (outcome.effective_double_sided) ++stats.true_double_sided;
+  }
+  return stats;
+}
+
+}  // namespace dramdig::rowhammer

@@ -1,0 +1,125 @@
+#include "sim/fault_model.h"
+
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace dramdig::sim {
+
+namespace {
+
+/// SplitMix64 — cheap stateless hash for per-row weak-cell derivation.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+fault_model::fault_model(const dram::address_mapping& truth,
+                         dram::vulnerability_profile profile,
+                         timing_model timing, virtual_clock& clock,
+                         std::uint64_t machine_seed)
+    : truth_(truth),
+      profile_(profile),
+      timing_(timing),
+      clock_(clock),
+      machine_seed_(machine_seed),
+      rng_(mix64(machine_seed ^ 0x5eedu)) {
+  // One hammer window = one DRAM refresh interval (64 ms) of alternating
+  // conflict accesses to the two aggressors.
+  const double per_iteration =
+      2.0 * (timing_.row_conflict_ns + timing_.clflush_ns +
+             timing_.loop_overhead_ns);
+  const double refresh_window_ns = 64.0 * 1e6;
+  hammer_iterations_ =
+      static_cast<std::uint64_t>(refresh_window_ns / per_iteration);
+  window_ns_ = static_cast<double>(hammer_iterations_) * per_iteration;
+}
+
+unsigned fault_model::weak_cells(std::uint64_t flat_bank,
+                                 std::uint64_t row) const {
+  // Deterministic per-row weakness: ~37% of rows have no weak cell at all,
+  // the rest have 1..max_flips_per_row with geometric-ish decay.
+  const std::uint64_t h = mix64(machine_seed_ ^ (flat_bank << 40) ^ row);
+  const unsigned bucket = static_cast<unsigned>(h % 100);
+  if (bucket < 37) return 0;
+  unsigned n = 1;
+  std::uint64_t hh = h >> 8;
+  while (n < profile_.max_flips_per_row && (hh & 3u) == 0) {
+    ++n;
+    hh >>= 2;
+  }
+  return n;
+}
+
+unsigned fault_model::flipped_in_row(std::uint64_t flat_bank,
+                                     std::uint64_t row) const {
+  unsigned flipped = 0;
+  const unsigned weak = weak_cells(flat_bank, row);
+  for (unsigned c = 0; c < weak; ++c) {
+    const std::uint64_t key =
+        mix64((flat_bank << 34) ^ (row << 4) ^ c ^ (machine_seed_ << 1));
+    flipped += flipped_cells_.contains(key);
+  }
+  return flipped;
+}
+
+std::uint64_t fault_model::try_flip_row(std::uint64_t flat_bank,
+                                        std::uint64_t row, bool double_sided) {
+  const unsigned weak = weak_cells(flat_bank, row);
+  if (weak == 0) return 0;
+  const double chance = double_sided ? profile_.double_sided_flip_chance
+                                     : profile_.single_sided_flip_chance;
+  std::uint64_t flips = 0;
+  for (unsigned c = 0; c < weak; ++c) {
+    if (!rng_.chance(chance)) continue;
+    // Cell identity: (bank, row, weak-cell ordinal).
+    const std::uint64_t key =
+        mix64((flat_bank << 34) ^ (row << 4) ^ c ^ (machine_seed_ << 1));
+    if (flipped_cells_.insert(key).second) ++flips;
+  }
+  return flips;
+}
+
+hammer_outcome fault_model::hammer_pair(std::uint64_t p1, std::uint64_t p2) {
+  DRAMDIG_EXPECTS(p1 < truth_.memory_bytes() && p2 < truth_.memory_bytes());
+  clock_.advance_ns(static_cast<std::uint64_t>(window_ns_));
+
+  hammer_outcome out{};
+  const std::uint64_t b1 = truth_.bank_of(p1);
+  const std::uint64_t b2 = truth_.bank_of(p2);
+  const std::uint64_t r1 = truth_.row_of(p1);
+  const std::uint64_t r2 = truth_.row_of(p2);
+
+  // Alternating access only activates rows when it ping-pongs the row
+  // buffer: same bank, different rows. Otherwise both addresses are served
+  // from open rows and nothing leaks.
+  if (b1 != b2 || r1 == r2) return out;
+  out.effective_hammer = true;
+
+  const std::uint64_t row_count = std::uint64_t{1}
+                                  << truth_.row_bits().size();
+  const std::uint64_t lo = std::min(r1, r2);
+  const std::uint64_t hi = std::max(r1, r2);
+
+  if (hi - lo == 2) {
+    // True double-sided layout: the sandwiched row takes double pressure.
+    out.effective_double_sided = true;
+    out.new_flips += try_flip_row(b1, lo + 1, /*double_sided=*/true);
+    if (lo > 0) out.new_flips += try_flip_row(b1, lo - 1, false);
+    if (hi + 1 < row_count) out.new_flips += try_flip_row(b1, hi + 1, false);
+  } else {
+    // Plain SBDR hammering: each aggressor leaks into its own neighbours
+    // (single-sided pressure only).
+    for (std::uint64_t r : {r1, r2}) {
+      if (r > 0) out.new_flips += try_flip_row(b1, r - 1, false);
+      if (r + 1 < row_count) out.new_flips += try_flip_row(b1, r + 1, false);
+    }
+  }
+  return out;
+}
+
+}  // namespace dramdig::sim

@@ -1,0 +1,85 @@
+// Rowhammer fault injection.
+//
+// Charge leakage physics reduced to the observables Table III measures:
+// alternating, cache-flushed access to two rows of the same bank activates
+// both rows once per access pair; rows physically adjacent to an activated
+// row leak, and a victim row with aggressors on BOTH sides (double-sided)
+// leaks an order of magnitude faster than with one (single-sided). A row's
+// weak cells are a deterministic pseudo-random property of the machine
+// (seeded per machine), so hammering the same victim twice finds the same
+// cells — as on real DIMMs.
+//
+// The crucial property for reproducing the paper: flips happen only if the
+// *true* DRAM addresses of the two hammered physical addresses are same
+// bank / different rows. A tool with a wrong mapping hammers pairs that
+// are actually different banks (both rows stay open -> no activations) or
+// the same row (row buffer hit -> no activations) and harvests nothing.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "dram/mapping.h"
+#include "dram/presets.h"
+#include "sim/timing_model.h"
+#include "sim/virtual_clock.h"
+#include "util/rng.h"
+
+namespace dramdig::sim {
+
+struct hammer_outcome {
+  std::uint64_t new_flips = 0;        ///< cells flipped by this window
+  bool effective_double_sided = false;  ///< truth: aggressors sandwich a row
+  bool effective_hammer = false;        ///< truth: pair was SBDR at all
+};
+
+class fault_model {
+ public:
+  fault_model(const dram::address_mapping& truth,
+              dram::vulnerability_profile profile, timing_model timing,
+              virtual_clock& clock, std::uint64_t machine_seed);
+
+  /// Hammer the pair (p1, p2) alternately for one refresh window. Applies
+  /// leakage to the true neighbours, advances the clock by the loop cost,
+  /// and reports newly flipped cells (a cell flips once; re-hammering the
+  /// same victim does not double count — the paper's tests scan memory for
+  /// flipped bits, which are unique cells).
+  hammer_outcome hammer_pair(std::uint64_t p1, std::uint64_t p2);
+
+  [[nodiscard]] std::uint64_t total_flips() const noexcept {
+    return flipped_cells_.size();
+  }
+  /// Repair all flipped cells (a test harness re-fills victim memory with
+  /// its pattern between tests; cell *weakness* is permanent, flips are
+  /// not).
+  void reset_flips() { flipped_cells_.clear(); }
+  /// Clock cost of one hammer window (two aggressors, conflict latency,
+  /// clflush each iteration, for one refresh interval's worth of accesses).
+  [[nodiscard]] double window_ns() const noexcept { return window_ns_; }
+
+  /// Number of weak (flippable) cells in a given victim row — a stable
+  /// pseudo-random function of the machine seed. Exposed for tests.
+  [[nodiscard]] unsigned weak_cells(std::uint64_t flat_bank,
+                                    std::uint64_t row) const;
+
+  /// How many cells of one specific row are currently flipped — the
+  /// "scan this row's memory" step of a rowhammer/PUF protocol.
+  [[nodiscard]] unsigned flipped_in_row(std::uint64_t flat_bank,
+                                        std::uint64_t row) const;
+
+ private:
+  dram::address_mapping truth_;
+  dram::vulnerability_profile profile_;
+  timing_model timing_;
+  virtual_clock& clock_;
+  std::uint64_t machine_seed_;
+  rng rng_;
+  std::unordered_set<std::uint64_t> flipped_cells_;
+  double window_ns_ = 0.0;
+  std::uint64_t hammer_iterations_ = 0;
+
+  std::uint64_t try_flip_row(std::uint64_t flat_bank, std::uint64_t row,
+                             bool double_sided);
+};
+
+}  // namespace dramdig::sim

@@ -1,0 +1,16 @@
+#include "sim/machine.h"
+
+namespace dramdig::sim {
+
+machine::machine(dram::machine_spec spec, std::uint64_t seed,
+                 timing_model timing)
+    : spec_(std::move(spec)),
+      seed_(seed),
+      clock_(std::make_unique<virtual_clock>()) {
+  controller_ = std::make_unique<memory_controller>(
+      spec_.mapping, timing, *clock_, rng(seed ^ 0x71B1A6u));
+  faults_ = std::make_unique<fault_model>(spec_.mapping, spec_.vulnerability,
+                                          timing, *clock_, seed);
+}
+
+}  // namespace dramdig::sim

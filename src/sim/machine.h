@@ -1,0 +1,42 @@
+// A complete simulated machine: spec (ground truth + geometry), a virtual
+// clock shared by all components, the memory controller, and the rowhammer
+// fault model. This is the "device under test" every tool and benchmark
+// runs against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dram/presets.h"
+#include "sim/fault_model.h"
+#include "sim/memory_controller.h"
+#include "sim/timing_model.h"
+#include "sim/virtual_clock.h"
+
+namespace dramdig::sim {
+
+class machine {
+ public:
+  /// `seed` drives every stochastic element (timing noise, weak cells);
+  /// two machines with equal spec+seed behave identically.
+  machine(dram::machine_spec spec, std::uint64_t seed,
+          timing_model timing = {});
+
+  [[nodiscard]] const dram::machine_spec& spec() const noexcept {
+    return spec_;
+  }
+  [[nodiscard]] memory_controller& controller() noexcept { return *controller_; }
+  [[nodiscard]] fault_model& faults() noexcept { return *faults_; }
+  [[nodiscard]] virtual_clock& clock() noexcept { return *clock_; }
+  [[nodiscard]] const virtual_clock& clock() const noexcept { return *clock_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  dram::machine_spec spec_;
+  std::uint64_t seed_;
+  std::unique_ptr<virtual_clock> clock_;
+  std::unique_ptr<memory_controller> controller_;
+  std::unique_ptr<fault_model> faults_;
+};
+
+}  // namespace dramdig::sim

@@ -1,0 +1,128 @@
+#include "sim/memory_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace dramdig::sim {
+
+memory_controller::memory_controller(const dram::address_mapping& truth,
+                                     timing_model timing, virtual_clock& clock,
+                                     rng noise_rng)
+    : truth_(truth), timing_(timing), clock_(clock), rng_(noise_rng),
+      burst_rng_(rng_.fork()) {
+  DRAMDIG_EXPECTS(truth_.is_bijective());
+  // Schedule the first background-load burst.
+  burst_start_ns_ = static_cast<std::uint64_t>(
+      -std::log(1.0 - burst_rng_.uniform()) *
+      timing_.burst_mean_interval_s * 1e9);
+  burst_end_ns_ = burst_start_ns_ +
+                  static_cast<std::uint64_t>(-std::log(1.0 - burst_rng_.uniform()) *
+                                             timing_.burst_mean_duration_s * 1e9);
+}
+
+void memory_controller::advance_burst_schedule() const {
+  const std::uint64_t now = clock_.now_ns();
+  while (now >= burst_end_ns_) {
+    const std::uint64_t gap = static_cast<std::uint64_t>(
+        -std::log(1.0 - burst_rng_.uniform()) *
+        timing_.burst_mean_interval_s * 1e9);
+    const std::uint64_t len = static_cast<std::uint64_t>(
+        -std::log(1.0 - burst_rng_.uniform()) *
+        timing_.burst_mean_duration_s * 1e9);
+    burst_start_ns_ = burst_end_ns_ + gap;
+    burst_end_ns_ = burst_start_ns_ + std::max<std::uint64_t>(len, 1);
+  }
+}
+
+bool memory_controller::in_burst() const {
+  advance_burst_schedule();
+  const std::uint64_t now = clock_.now_ns();
+  return now >= burst_start_ns_ && now < burst_end_ns_;
+}
+
+double memory_controller::effective_contamination() const {
+  const double chance =
+      in_burst() ? timing_.contamination_chance * timing_.burst_contamination_factor
+                 : timing_.contamination_chance;
+  return std::min(chance, 0.5);
+}
+
+double memory_controller::access(std::uint64_t phys) {
+  DRAMDIG_EXPECTS(phys < truth_.memory_bytes());
+  const std::uint64_t bank = truth_.bank_of(phys);
+  const std::uint64_t row = truth_.row_of(phys);
+
+  double base;
+  const auto it = open_rows_.find(bank);
+  if (it == open_rows_.end()) {
+    base = timing_.row_closed_ns;
+    open_rows_.emplace(bank, row);
+  } else if (it->second == row) {
+    base = timing_.row_hit_ns;
+  } else {
+    base = timing_.row_conflict_ns;
+    it->second = row;
+  }
+  const double latency = std::max(
+      1.0, base + rng_.gaussian(0.0, timing_.access_noise_sigma_ns));
+  clock_.advance_ns(static_cast<std::uint64_t>(
+      latency + timing_.clflush_ns + timing_.loop_overhead_ns));
+  ++access_count_;
+  return latency;
+}
+
+double memory_controller::ideal_pair_latency_ns(std::uint64_t p1,
+                                                std::uint64_t p2) const {
+  const std::uint64_t b1 = truth_.bank_of(p1);
+  const std::uint64_t b2 = truth_.bank_of(p2);
+  if (b1 != b2) {
+    // Each bank keeps its row open; alternating accesses all hit.
+    return timing_.row_hit_ns;
+  }
+  if (truth_.row_of(p1) == truth_.row_of(p2)) {
+    return timing_.row_hit_ns;  // same row buffer serves both
+  }
+  // Same bank, different row: every access evicts the other's row.
+  return timing_.row_conflict_ns;
+}
+
+pair_measurement memory_controller::measure_pair(std::uint64_t p1,
+                                                 std::uint64_t p2,
+                                                 unsigned rounds) {
+  DRAMDIG_EXPECTS(rounds > 0);
+  DRAMDIG_EXPECTS(p1 < truth_.memory_bytes() && p2 < truth_.memory_bytes());
+  const double ideal = ideal_pair_latency_ns(p1, p2);
+
+  // Mean of 2*rounds iid Gaussian samples around the steady state.
+  const double sigma_mean =
+      timing_.access_noise_sigma_ns / std::sqrt(2.0 * rounds);
+  double observed = ideal + rng_.gaussian(0.0, sigma_mean);
+
+  // Heavy-tail contamination: a scheduler preemption or refresh burst
+  // inflates part of the loop; modelled as a uniform positive shift. The
+  // rate rises sharply during background-load bursts.
+  bool contaminated = false;
+  if (rng_.chance(effective_contamination())) {
+    observed += rng_.uniform() * timing_.contamination_max_ns;
+    contaminated = true;
+  }
+
+  // Charge the virtual clock for the whole measurement loop.
+  const double per_access =
+      ideal + timing_.clflush_ns + timing_.loop_overhead_ns;
+  clock_.advance_ns(static_cast<std::uint64_t>(
+      2.0 * static_cast<double>(rounds) * per_access));
+  access_count_ += 2ull * rounds;
+  ++measurement_count_;
+
+  // The row-buffer state after an alternating loop: both banks hold the
+  // last-touched rows.
+  open_rows_[truth_.bank_of(p1)] = truth_.row_of(p1);
+  open_rows_[truth_.bank_of(p2)] = truth_.row_of(p2);
+
+  return {std::max(1.0, observed), contaminated};
+}
+
+}  // namespace dramdig::sim

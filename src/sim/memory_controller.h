@@ -1,0 +1,85 @@
+// The simulated memory controller: the ground-truth DRAM address mapping
+// plus per-bank row-buffer state and the latency model. This is the only
+// component that knows the true mapping; the reverse-engineering tools may
+// touch it exclusively through timed accesses, exactly like the real tools
+// can only observe latencies.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "dram/mapping.h"
+#include "sim/timing_model.h"
+#include "sim/virtual_clock.h"
+#include "util/rng.h"
+
+namespace dramdig::sim {
+
+/// Result of one timed pair measurement (the paper's `latency(p, p')`).
+struct pair_measurement {
+  double mean_access_ns = 0.0;  ///< average per-access latency observed
+  bool contaminated = false;    ///< a heavy-tail event landed in this sample
+};
+
+class memory_controller {
+ public:
+  memory_controller(const dram::address_mapping& truth, timing_model timing,
+                    virtual_clock& clock, rng noise_rng);
+
+  /// One uncached access to a physical address: updates the open-row table,
+  /// advances the clock, returns the sampled latency in ns.
+  double access(std::uint64_t phys);
+
+  /// Alternate accesses to p1 and p2 (`rounds` accesses to each, clflush
+  /// between accesses) and return the mean per-access latency. This is the
+  /// workhorse of the timing channel; it is closed-form over the row-buffer
+  /// steady state so a measurement costs O(1) host time while still
+  /// advancing the virtual clock by the full loop cost.
+  [[nodiscard]] pair_measurement measure_pair(std::uint64_t p1,
+                                              std::uint64_t p2,
+                                              unsigned rounds);
+
+  /// Steady-state noiseless per-access latency for an alternating pair —
+  /// used by tests to assert the channel's ground truth.
+  [[nodiscard]] double ideal_pair_latency_ns(std::uint64_t p1,
+                                             std::uint64_t p2) const;
+
+  [[nodiscard]] const dram::address_mapping& truth() const noexcept {
+    return truth_;
+  }
+  [[nodiscard]] const timing_model& timing() const noexcept { return timing_; }
+  [[nodiscard]] virtual_clock& clock() noexcept { return clock_; }
+
+  /// Total accesses simulated (bulk loops included) — the cost metric
+  /// behind Fig. 2 alongside virtual time.
+  [[nodiscard]] std::uint64_t access_count() const noexcept {
+    return access_count_;
+  }
+  /// Total pair measurements taken.
+  [[nodiscard]] std::uint64_t measurement_count() const noexcept {
+    return measurement_count_;
+  }
+
+  /// True while a background-load burst is active at the current virtual
+  /// time (exposed for tests and the timing-viz example).
+  [[nodiscard]] bool in_burst() const;
+
+ private:
+  dram::address_mapping truth_;
+  timing_model timing_;
+  virtual_clock& clock_;
+  rng rng_;
+  std::unordered_map<std::uint64_t, std::uint64_t> open_rows_;
+  std::uint64_t access_count_ = 0;
+  std::uint64_t measurement_count_ = 0;
+
+  // Background-load burst schedule, advanced lazily with virtual time.
+  mutable std::uint64_t burst_start_ns_ = 0;
+  mutable std::uint64_t burst_end_ns_ = 0;
+  mutable rng burst_rng_{0};
+
+  void advance_burst_schedule() const;
+  [[nodiscard]] double effective_contamination() const;
+};
+
+}  // namespace dramdig::sim

@@ -1,0 +1,40 @@
+// Per-unit timing noise profiles.
+//
+// Measurement noise is a property of the physical machine — DVFS, SMIs,
+// background load — not of the measuring tool. The paper's §IV-A outcomes
+// (DRAMA producing nothing in two hours on the old mobile units No.3 and
+// No.7 while finishing elsewhere) are reproduced by giving each machine the
+// contamination level its class would really show. A knowledge-assisted
+// tool survives a noisy unit because it re-verifies; a blind brute-force
+// tool does not.
+#pragma once
+
+#include "dram/presets.h"
+#include "sim/timing_model.h"
+
+namespace dramdig::sim {
+
+[[nodiscard]] inline timing_model timing_profile_for(
+    const dram::machine_spec& spec) {
+  timing_model t{};
+  switch (spec.quality) {
+    case dram::timing_quality::clean:
+      t.contamination_chance = 0.002;
+      t.burst_mean_interval_s = 150.0;
+      break;
+    case dram::timing_quality::mobile:
+      t.contamination_chance = 0.005;
+      t.burst_mean_interval_s = 80.0;
+      t.burst_mean_duration_s = 5.0;
+      break;
+    case dram::timing_quality::noisy:
+      t.contamination_chance = 0.04;
+      t.contamination_max_ns = 500.0;
+      t.burst_mean_interval_s = 35.0;
+      t.burst_mean_duration_s = 6.0;
+      break;
+  }
+  return t;
+}
+
+}  // namespace dramdig::sim

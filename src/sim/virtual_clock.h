@@ -1,0 +1,32 @@
+// Virtual time base for the whole simulation.
+//
+// Fig. 2 of the paper reports wall-clock tool cost; in this reproduction
+// every simulated DRAM access, cache flush and measurement charges
+// nanoseconds to a virtual clock, so "time cost" is a deterministic
+// function of the work a tool performs — the honest analogue of the
+// paper's measurements, minus host noise.
+#pragma once
+
+#include <cstdint>
+
+namespace dramdig::sim {
+
+class virtual_clock {
+ public:
+  void advance_ns(std::uint64_t ns) noexcept { now_ns_ += ns; }
+
+  [[nodiscard]] std::uint64_t now_ns() const noexcept { return now_ns_; }
+  [[nodiscard]] double now_seconds() const noexcept {
+    return static_cast<double>(now_ns_) / 1e9;
+  }
+
+  /// Elapsed seconds since a reference point taken earlier.
+  [[nodiscard]] double seconds_since(std::uint64_t ref_ns) const noexcept {
+    return static_cast<double>(now_ns_ - ref_ns) / 1e9;
+  }
+
+ private:
+  std::uint64_t now_ns_ = 0;
+};
+
+}  // namespace dramdig::sim

@@ -1,0 +1,174 @@
+#include "sysinfo/system_info.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/expect.h"
+
+namespace dramdig::sysinfo {
+
+namespace {
+
+constexpr std::uint64_t MiB = 1024ull * 1024;
+
+/// Size of one DIMM in MiB (all DIMMs identical on the paper machines).
+std::uint64_t dimm_mib(const dram::machine_spec& m) {
+  const unsigned dimm_count = m.channels * m.dimms_per_channel;
+  return m.memory_bytes / dimm_count / MiB;
+}
+
+/// Find the first integer after `key` on any line containing it, starting
+/// the scan at `from`. Returns the value and advances `from` past the line.
+bool scan_int_after(const std::string& text, const std::string& key,
+                    std::size_t& from, std::uint64_t& value) {
+  const std::size_t at = text.find(key, from);
+  if (at == std::string::npos) return false;
+  std::size_t i = at + key.size();
+  while (i < text.size() && !std::isdigit(static_cast<unsigned char>(text[i]))) {
+    if (text[i] == '\n') return false;  // key line carries no number
+    ++i;
+  }
+  if (i >= text.size()) return false;
+  value = 0;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    value = value * 10 + static_cast<std::uint64_t>(text[i] - '0');
+    ++i;
+  }
+  from = i;
+  return true;
+}
+
+}  // namespace
+
+std::string render_dmidecode(const dram::machine_spec& m) {
+  std::ostringstream out;
+  out << "# dmidecode 3.2\n"
+      << "Getting SMBIOS data from sysfs.\n"
+      << "SMBIOS 3.0 present.\n\n"
+      << "Handle 0x0040, DMI type 16, 23 bytes\n"
+      << "Physical Memory Array\n"
+      << "\tLocation: System Board Or Motherboard\n"
+      << "\tUse: System Memory\n"
+      << "\tError Correction Type: " << (m.ecc ? "Single-bit ECC" : "None")
+      << "\n"
+      << "\tNumber Of Devices: " << m.channels * m.dimms_per_channel << "\n\n";
+  unsigned handle = 0x41;
+  for (unsigned ch = 0; ch < m.channels; ++ch) {
+    for (unsigned d = 0; d < m.dimms_per_channel; ++d) {
+      out << "Handle 0x00" << std::hex << handle++ << std::dec
+          << ", DMI type 17, 40 bytes\n"
+          << "Memory Device\n"
+          << "\tSize: " << dimm_mib(m) << " MB\n"
+          << "\tForm Factor: " << (m.memory_bytes <= (8ull << 30) &&
+                                   m.cpu_model.find('U') != std::string::npos
+                                       ? "SODIMM"
+                                       : "DIMM")
+          << "\n"
+          << "\tLocator: ChannelA-DIMM" << d << "\n"
+          << "\tBank Locator: BANK " << ch * m.dimms_per_channel + d << "\n"
+          << "\tType: " << to_string(m.generation) << "\n"
+          << "\tSpeed: "
+          << (m.generation == dram::ddr_generation::ddr3 ? 1600 : 2400)
+          << " MT/s\n"
+          << "\tRank: " << m.ranks_per_dimm << "\n\n";
+    }
+  }
+  return out.str();
+}
+
+std::string render_decode_dimms(const dram::machine_spec& m) {
+  std::ostringstream out;
+  out << "# decode-dimms\n\n";
+  const unsigned dimm_count = m.channels * m.dimms_per_channel;
+  for (unsigned i = 0; i < dimm_count; ++i) {
+    out << "Decoding EEPROM: /sys/bus/i2c/drivers/eeprom/" << i << "-0050\n"
+        << "---=== SPD EEPROM Information ===---\n"
+        << "Fundamental Memory type                          "
+        << to_string(m.generation) << " SDRAM\n"
+        << "---=== Memory Characteristics ===---\n"
+        << "Size                                             " << dimm_mib(m)
+        << " MB\n"
+        << "Banks x Rows x Columns x Bits                    "
+        << m.banks_per_rank << " x "
+        << (16 + (m.generation == dram::ddr_generation::ddr4 ? 1 : 0))
+        << " x 10 x 64\n"
+        << "Ranks                                            "
+        << m.ranks_per_dimm << "\n"
+        << "SDRAM Device Width                               8 bits\n"
+        << "Module Configuration Type                        "
+        << (m.ecc ? "ECC" : "No Parity") << "\n\n";
+  }
+  out << "Number of SDRAM DIMMs detected and decoded: " << dimm_count << "\n";
+  return out.str();
+}
+
+system_info parse_reports(const std::string& dmidecode_out,
+                          const std::string& decode_dimms_out) {
+  system_info info{};
+
+  // DDR generation from the SPD report.
+  if (decode_dimms_out.find("DDR4 SDRAM") != std::string::npos) {
+    info.generation = dram::ddr_generation::ddr4;
+  } else if (decode_dimms_out.find("DDR3 SDRAM") != std::string::npos) {
+    info.generation = dram::ddr_generation::ddr3;
+  } else {
+    throw std::runtime_error("decode-dimms: no recognizable DDR generation");
+  }
+
+  // Per-DIMM size, rank, and bank counts from dmidecode/decode-dimms.
+  std::uint64_t dimm_count = 0;
+  std::uint64_t size_mb_total = 0;
+  std::uint64_t ranks = 0;
+  {
+    std::size_t pos = 0;
+    std::uint64_t size_mb = 0;
+    while (scan_int_after(dmidecode_out, "Size:", pos, size_mb)) {
+      size_mb_total += size_mb;
+      ++dimm_count;
+    }
+    pos = 0;
+    if (!scan_int_after(dmidecode_out, "Rank:", pos, ranks)) {
+      throw std::runtime_error("dmidecode: missing Rank field");
+    }
+  }
+  if (dimm_count == 0 || size_mb_total == 0) {
+    throw std::runtime_error("dmidecode: no populated memory devices");
+  }
+
+  std::uint64_t banks = 0;
+  {
+    std::size_t pos = 0;
+    if (!scan_int_after(decode_dimms_out, "Banks x Rows x Columns x Bits",
+                        pos, banks)) {
+      throw std::runtime_error("decode-dimms: missing bank geometry");
+    }
+  }
+
+  info.total_bytes = size_mb_total * MiB;
+  info.ranks_per_dimm = static_cast<unsigned>(ranks);
+  info.banks_per_rank = static_cast<unsigned>(banks);
+  info.ecc = dmidecode_out.find("Error Correction Type: None") ==
+             std::string::npos;
+
+  // Channel topology from the locators: count distinct channel letters is
+  // overkill for the simulated reports; the paper machines populate one
+  // DIMM per channel, so channels = DIMMs unless the locator says
+  // otherwise. Keep the simple rule and let dimms_per_channel absorb the
+  // remainder.
+  info.channels = static_cast<unsigned>(dimm_count);
+  info.dimms_per_channel = 1;
+
+  DRAMDIG_ENSURES(info.total_banks() > 0);
+  return info;
+}
+
+system_info probe(const dram::machine_spec& m) {
+  system_info info =
+      parse_reports(render_dmidecode(m), render_decode_dimms(m));
+  DRAMDIG_ENSURES(info.total_bytes == m.memory_bytes);
+  DRAMDIG_ENSURES(info.total_banks() == m.total_banks());
+  return info;
+}
+
+}  // namespace dramdig::sysinfo

@@ -1,0 +1,49 @@
+// System-information domain knowledge (paper Section III-A, second bullet):
+// "the total number of banks, physical memory size, and whether DRAM chips
+// support ECC protection. This information can be obtained from the output
+// of system commands such as decode-dimms and dmidecode."
+//
+// To exercise the same interface the real tool uses, the simulated machine
+// *renders* dmidecode/decode-dimms style text and DRAMDig *parses* it back;
+// the parsers are deliberately tolerant of the formatting quirks those
+// tools actually ship.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dram/presets.h"
+#include "dram/spec.h"
+
+namespace dramdig::sysinfo {
+
+/// What the tools can learn about a machine without any timing channel.
+struct system_info {
+  dram::ddr_generation generation = dram::ddr_generation::ddr3;
+  std::uint64_t total_bytes = 0;
+  unsigned channels = 0;
+  unsigned dimms_per_channel = 0;
+  unsigned ranks_per_dimm = 0;
+  unsigned banks_per_rank = 0;
+  bool ecc = false;
+
+  [[nodiscard]] unsigned total_banks() const {
+    return channels * dimms_per_channel * ranks_per_dimm * banks_per_rank;
+  }
+};
+
+/// Render the `dmidecode --type memory` style report a machine would give.
+[[nodiscard]] std::string render_dmidecode(const dram::machine_spec& m);
+
+/// Render a `decode-dimms` style per-DIMM SPD report.
+[[nodiscard]] std::string render_decode_dimms(const dram::machine_spec& m);
+
+/// Parse both reports back into the struct the tools consume. Throws
+/// std::runtime_error on malformed input (missing sections, zero sizes).
+[[nodiscard]] system_info parse_reports(const std::string& dmidecode_out,
+                                        const std::string& decode_dimms_out);
+
+/// Convenience: what the tools would gather on this machine.
+[[nodiscard]] system_info probe(const dram::machine_spec& m);
+
+}  // namespace dramdig::sysinfo

@@ -1,0 +1,90 @@
+#include "timing/channel.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+
+namespace dramdig::timing {
+
+channel::channel(sim::memory_controller& controller, channel_config config,
+                 rng r)
+    : controller_(controller), config_(config), rng_(std::move(r)) {
+  DRAMDIG_EXPECTS(config_.rounds_per_measurement > 0);
+  DRAMDIG_EXPECTS(config_.samples_per_latency >= 1);
+}
+
+double channel::calibrate(const std::vector<std::uint64_t>& pool) {
+  DRAMDIG_EXPECTS(pool.size() >= 2);
+  // Up to three calibration rounds: a background-load burst can smear the
+  // fast mode across the whole histogram and put the valley in a useless
+  // place, which a sanity check on the slow-fraction detects (random pairs
+  // conflict with probability ~1/#banks, so anywhere outside [0.5%, 35%]
+  // means the threshold is lying).
+  for (unsigned round = 0; round < 3; ++round) {
+    calibration_samples_.clear();
+    calibration_samples_.reserve(config_.calibration_pairs);
+    for (unsigned i = 0; i < config_.calibration_pairs; ++i) {
+      const std::uint64_t a = pool[rng_.below(pool.size())];
+      std::uint64_t b = pool[rng_.below(pool.size())];
+      if (a == b) {
+        --i;
+        continue;
+      }
+      // Min-of-two: contamination is one-sided, so the lower reading is
+      // always the cleaner one.
+      const double first =
+          controller_.measure_pair(a, b, config_.rounds_per_measurement)
+              .mean_access_ns;
+      const double second =
+          controller_.measure_pair(a, b, config_.rounds_per_measurement)
+              .mean_access_ns;
+      calibration_samples_.push_back(std::min(first, second));
+    }
+    threshold_ns_ = valley_threshold(calibration_samples_);
+    std::size_t above = 0;
+    for (double s : calibration_samples_) above += s > threshold_ns_;
+    const double frac =
+        static_cast<double>(above) /
+        static_cast<double>(calibration_samples_.size());
+    if (frac > 0.005 && frac < 0.35) break;
+  }
+  return threshold_ns_;
+}
+
+double channel::latency(std::uint64_t p1, std::uint64_t p2) {
+  std::vector<double> samples;
+  samples.reserve(config_.samples_per_latency);
+  for (unsigned i = 0; i < config_.samples_per_latency; ++i) {
+    samples.push_back(
+        controller_.measure_pair(p1, p2, config_.rounds_per_measurement)
+            .mean_access_ns);
+  }
+  return median(std::move(samples));
+}
+
+bool channel::is_sbdr(std::uint64_t p1, std::uint64_t p2) {
+  DRAMDIG_EXPECTS(calibrated());
+  return latency(p1, p2) > threshold_ns_;
+}
+
+bool channel::is_sbdr_fast(std::uint64_t p1, std::uint64_t p2) {
+  DRAMDIG_EXPECTS(calibrated());
+  return controller_.measure_pair(p1, p2, config_.rounds_per_measurement)
+             .mean_access_ns > threshold_ns_;
+}
+
+bool channel::is_sbdr_strict(std::uint64_t p1, std::uint64_t p2) {
+  DRAMDIG_EXPECTS(calibrated());
+  double lowest = 1e300;
+  for (unsigned i = 0; i < config_.samples_per_latency + 2; ++i) {
+    lowest = std::min(
+        lowest,
+        controller_.measure_pair(p1, p2, config_.rounds_per_measurement)
+            .mean_access_ns);
+  }
+  return lowest > threshold_ns_;
+}
+
+}  // namespace dramdig::timing

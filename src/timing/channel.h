@@ -1,0 +1,80 @@
+// The timing primitive (paper Section III-B).
+//
+// Row-buffer conflicts make alternating access to two rows of the same bank
+// measurably slower than any other address relationship. This wrapper
+// turns the raw simulated latencies into the boolean the algorithms
+// consume — "are these two physical addresses same-bank-different-row?" —
+// via (1) calibration: sample random pairs, find the valley between the
+// fast and slow modes; (2) measurement: median-of-k pair latencies against
+// the calibrated threshold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/memory_controller.h"
+#include "util/rng.h"
+
+namespace dramdig::timing {
+
+struct channel_config {
+  /// Accesses per address per measurement (the paper's tools hammer a pair
+  /// thousands of times; 500 keeps the virtual-time budget realistic).
+  unsigned rounds_per_measurement = 500;
+  /// Independent measurements medianed per latency() call.
+  unsigned samples_per_latency = 3;
+  /// Random pairs sampled during threshold calibration.
+  unsigned calibration_pairs = 1200;
+};
+
+class channel {
+ public:
+  channel(sim::memory_controller& controller, channel_config config, rng r);
+
+  /// Calibrate the high/low decision threshold from random pairs drawn
+  /// from `pool` (physical addresses). Returns the threshold in ns.
+  double calibrate(const std::vector<std::uint64_t>& pool);
+
+  /// Median-filtered pair latency in ns.
+  [[nodiscard]] double latency(std::uint64_t p1, std::uint64_t p2);
+
+  /// The paper's `latency(p, p') == high` predicate.
+  [[nodiscard]] bool is_sbdr(std::uint64_t p1, std::uint64_t p2);
+
+  /// Cheap single-sample variant used inside the O(pool * banks) partition
+  /// loop, where the pile-size tolerance absorbs rare misreads.
+  [[nodiscard]] bool is_sbdr_fast(std::uint64_t p1, std::uint64_t p2);
+
+  /// Contamination-proof variant: minimum of `samples_per_latency + 2`
+  /// measurements. Timing noise in this channel is one-sided (events only
+  /// inflate latency), so the minimum is the robust estimator; a pair is
+  /// SBDR only if even its fastest observation conflicts. Used where a
+  /// single false positive would corrupt the output (fine-grained
+  /// shared-bit acceptance).
+  [[nodiscard]] bool is_sbdr_strict(std::uint64_t p1, std::uint64_t p2);
+
+  [[nodiscard]] double threshold_ns() const noexcept { return threshold_ns_; }
+  [[nodiscard]] bool calibrated() const noexcept { return threshold_ns_ > 0; }
+  [[nodiscard]] sim::memory_controller& controller() noexcept {
+    return controller_;
+  }
+  [[nodiscard]] const channel_config& config() const noexcept {
+    return config_;
+  }
+
+  /// Raw calibration samples from the last calibrate() call (for the
+  /// histogram example and tests).
+  [[nodiscard]] const std::vector<double>& calibration_samples()
+      const noexcept {
+    return calibration_samples_;
+  }
+
+ private:
+  sim::memory_controller& controller_;
+  channel_config config_;
+  rng rng_;
+  double threshold_ns_ = 0.0;
+  std::vector<double> calibration_samples_;
+};
+
+}  // namespace dramdig::timing

@@ -1,0 +1,88 @@
+// Bit-manipulation helpers shared by the mapping model and the
+// reverse-engineering tools. All operate on 64-bit physical addresses or
+// XOR masks over physical-address bits.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace dramdig {
+
+/// XOR-reduce the bits of `value` selected by `mask` to a single bit.
+/// This is exactly the Intel bank-address-function primitive the paper
+/// describes: "a tuple of multiple physical address bits, which are XORed
+/// to output a single bit".
+[[nodiscard]] constexpr unsigned parity(std::uint64_t value,
+                                        std::uint64_t mask) noexcept {
+  return static_cast<unsigned>(std::popcount(value & mask) & 1);
+}
+
+/// Test a single bit.
+[[nodiscard]] constexpr bool bit(std::uint64_t value, unsigned index) noexcept {
+  return ((value >> index) & 1u) != 0;
+}
+
+/// Set or clear a single bit, returning the new value.
+[[nodiscard]] constexpr std::uint64_t with_bit(std::uint64_t value,
+                                               unsigned index,
+                                               bool on) noexcept {
+  const std::uint64_t m = std::uint64_t{1} << index;
+  return on ? (value | m) : (value & ~m);
+}
+
+/// Build a mask with the given bit indices set.
+[[nodiscard]] inline std::uint64_t mask_of_bits(
+    const std::vector<unsigned>& bits) {
+  std::uint64_t m = 0;
+  for (unsigned b : bits) {
+    DRAMDIG_EXPECTS(b < 64);
+    m |= std::uint64_t{1} << b;
+  }
+  return m;
+}
+
+/// List the set-bit indices of `mask`, ascending.
+[[nodiscard]] inline std::vector<unsigned> bits_of_mask(std::uint64_t mask) {
+  std::vector<unsigned> out;
+  while (mask != 0) {
+    const unsigned b = static_cast<unsigned>(std::countr_zero(mask));
+    out.push_back(b);
+    mask &= mask - 1;
+  }
+  return out;
+}
+
+/// Gather the bits of `value` selected by ascending indices `bits` into a
+/// dense integer (bits[0] becomes bit 0 of the result). This is how a row
+/// or column index is extracted from a physical address.
+[[nodiscard]] inline std::uint64_t gather_bits(
+    std::uint64_t value, const std::vector<unsigned>& bits) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    out |= static_cast<std::uint64_t>(bit(value, bits[i])) << i;
+  }
+  return out;
+}
+
+/// Inverse of gather_bits: scatter the low bits of `dense` to positions
+/// `bits` (other positions zero).
+[[nodiscard]] inline std::uint64_t scatter_bits(
+    std::uint64_t dense, const std::vector<unsigned>& bits) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    out |= static_cast<std::uint64_t>((dense >> i) & 1u) << bits[i];
+  }
+  return out;
+}
+
+/// Number of contiguous low bits needed to address `size` bytes; requires a
+/// power-of-two size.
+[[nodiscard]] constexpr unsigned log2_exact(std::uint64_t size) {
+  DRAMDIG_EXPECTS(size != 0 && (size & (size - 1)) == 0);
+  return static_cast<unsigned>(std::countr_zero(size));
+}
+
+}  // namespace dramdig

@@ -1,0 +1,40 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Violations throw so that tests can assert on
+// them; they are never compiled out because every caller in this project is
+// either a tool or a simulator where correctness dominates speed.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dramdig {
+
+/// Thrown when a precondition or postcondition is violated.
+class contract_violation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw contract_violation(std::string(kind) + " failed: " + expr + " at " +
+                           file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace dramdig
+
+#define DRAMDIG_EXPECTS(cond)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::dramdig::detail::contract_fail("precondition", #cond, __FILE__,    \
+                                       __LINE__);                          \
+  } while (false)
+
+#define DRAMDIG_ENSURES(cond)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::dramdig::detail::contract_fail("postcondition", #cond, __FILE__,   \
+                                       __LINE__);                          \
+  } while (false)

@@ -1,0 +1,151 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+#include "util/stats.h"
+
+namespace dramdig {
+
+histogram::histogram(double lo, double hi, std::size_t bin_count)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bin_count)),
+      counts_(bin_count, 0) {
+  DRAMDIG_EXPECTS(hi > lo);
+  DRAMDIG_EXPECTS(bin_count > 0);
+}
+
+void histogram::add(double sample) {
+  double idx = (sample - lo_) / bin_width_;
+  idx = std::clamp(idx, 0.0, static_cast<double>(counts_.size() - 1));
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void histogram::add_all(const std::vector<double>& samples) {
+  for (double s : samples) add(s);
+}
+
+std::uint64_t histogram::count(std::size_t bin) const {
+  DRAMDIG_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double histogram::bin_low(std::size_t bin) const {
+  DRAMDIG_EXPECTS(bin < counts_.size());
+  return lo_ + static_cast<double>(bin) * bin_width_;
+}
+
+double histogram::bin_center(std::size_t bin) const {
+  return bin_low(bin) + bin_width_ / 2.0;
+}
+
+std::size_t histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string histogram::ascii(std::size_t width) const {
+  std::string out;
+  const std::uint64_t peak =
+      std::max<std::uint64_t>(1, counts_[mode_bin()]);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%8.1f | ", bin_low(i));
+    out += buf;
+    const std::size_t bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out.append(bar, '#');
+    std::snprintf(buf, sizeof buf, " %llu\n",
+                  static_cast<unsigned long long>(counts_[i]));
+    out += buf;
+  }
+  return out;
+}
+
+double valley_threshold(const std::vector<double>& samples) {
+  DRAMDIG_EXPECTS(samples.size() >= 16);
+  const double lo = min_of(samples);
+  const double hi = max_of(samples) + 1e-9;
+  constexpr std::size_t kBins = 128;
+  histogram h(lo, hi, kBins);
+  for (double s : samples) h.add(s);
+
+  // Find the global peak, then the best peak separated from it by at least
+  // a tenth of the range, then the emptiest bin between them.
+  const std::size_t p1 = h.mode_bin();
+  const std::size_t min_sep = kBins / 10;
+  std::size_t p2 = kBins;  // invalid
+  std::uint64_t best = 0;
+  for (std::size_t i = 0; i < kBins; ++i) {
+    const std::size_t sep = i > p1 ? i - p1 : p1 - i;
+    if (sep >= min_sep && h.count(i) > best) {
+      best = h.count(i);
+      p2 = i;
+    }
+  }
+  if (p2 == kBins) {
+    // Unimodal sample: fall back to Otsu which degrades gracefully.
+    return otsu_threshold(samples);
+  }
+  // The emptiest stretch between the two peaks; with narrow modes many
+  // bins tie at zero, so take the centre of the tie run for a threshold
+  // that is robust to both modes drifting.
+  const auto [a, b] = std::minmax(p1, p2);
+  std::uint64_t valley_count = h.count(a);
+  for (std::size_t i = a; i <= b; ++i) {
+    valley_count = std::min(valley_count, h.count(i));
+  }
+  std::size_t first = a, last = a;
+  bool seen = false;
+  for (std::size_t i = a; i <= b; ++i) {
+    if (h.count(i) == valley_count) {
+      if (!seen) first = i;
+      last = i;
+      seen = true;
+    }
+  }
+  return h.bin_center((first + last) / 2);
+}
+
+double otsu_threshold(const std::vector<double>& samples) {
+  DRAMDIG_EXPECTS(samples.size() >= 2);
+  const double lo = min_of(samples);
+  const double hi = max_of(samples) + 1e-9;
+  constexpr std::size_t kBins = 128;
+  histogram h(lo, hi, kBins);
+  for (double s : samples) h.add(s);
+
+  // Standard Otsu over the binned distribution.
+  const double total = static_cast<double>(h.total());
+  double sum_all = 0;
+  for (std::size_t i = 0; i < kBins; ++i) {
+    sum_all += static_cast<double>(h.count(i)) * h.bin_center(i);
+  }
+  // Between-class variance is flat across an empty valley, so track the
+  // whole plateau of (near-)maximal variance and cut in its middle — a
+  // threshold robust to either mode drifting.
+  double sum_b = 0, weight_b = 0, best_var = -1.0;
+  std::size_t best_first = kBins / 2, best_last = kBins / 2;
+  for (std::size_t i = 0; i < kBins; ++i) {
+    weight_b += static_cast<double>(h.count(i));
+    if (weight_b == 0) continue;
+    const double weight_f = total - weight_b;
+    if (weight_f == 0) break;
+    sum_b += static_cast<double>(h.count(i)) * h.bin_center(i);
+    const double mean_b = sum_b / weight_b;
+    const double mean_f = (sum_all - sum_b) / weight_f;
+    const double between =
+        weight_b * weight_f * (mean_b - mean_f) * (mean_b - mean_f);
+    if (between > best_var * (1.0 + 1e-9)) {
+      best_var = between;
+      best_first = best_last = i;
+    } else if (between >= best_var * (1.0 - 1e-9)) {
+      best_last = i;
+    }
+  }
+  return h.bin_center((best_first + best_last) / 2);
+}
+
+}  // namespace dramdig

@@ -1,0 +1,55 @@
+// Latency histogramming and bimodal threshold calibration.
+//
+// The row-buffer timing channel produces a bimodal latency distribution:
+// a fast mode (row hit / different bank) and a slow mode (row conflict).
+// The tools calibrate a decision threshold by sampling random address pairs
+// and locating the valley between the two modes; this file provides the
+// histogram container and two calibration strategies (valley search and
+// Otsu's method) so that thresholding behaviour itself can be unit tested.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dramdig {
+
+class histogram {
+ public:
+  /// Fixed-width bins spanning [lo, hi); samples outside clamp to the edge
+  /// bins so that outliers remain visible.
+  histogram(double lo, double hi, std::size_t bin_count);
+
+  void add(double sample);
+  void add_all(const std::vector<double>& samples);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// Index of the fullest bin.
+  [[nodiscard]] std::size_t mode_bin() const;
+
+  /// Render as ASCII art (for the timing_channel_viz example).
+  [[nodiscard]] std::string ascii(std::size_t width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Threshold between the two modes of a bimodal sample set, found as the
+/// emptiest bin between the two tallest well-separated peaks. Returns the
+/// bin-center latency value.
+[[nodiscard]] double valley_threshold(const std::vector<double>& samples);
+
+/// Otsu's method: threshold maximizing inter-class variance. More robust
+/// when the slow mode is small (few conflicting pairs in the sample).
+[[nodiscard]] double otsu_threshold(const std::vector<double>& samples);
+
+}  // namespace dramdig

@@ -1,0 +1,32 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace dramdig {
+
+namespace {
+log_level g_level = log_level::off;
+
+const char* prefix(log_level level) {
+  switch (level) {
+    case log_level::error: return "[error] ";
+    case log_level::info: return "[info ] ";
+    case log_level::debug: return "[debug] ";
+    case log_level::off: break;
+  }
+  return "";
+}
+}  // namespace
+
+void set_log_level(log_level level) { g_level = level; }
+
+log_level current_log_level() { return g_level; }
+
+void log_line(log_level level, const std::string& message) {
+  if (static_cast<int>(level) <= static_cast<int>(g_level) &&
+      level != log_level::off) {
+    std::fprintf(stderr, "%s%s\n", prefix(level), message.c_str());
+  }
+}
+
+}  // namespace dramdig

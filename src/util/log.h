@@ -1,0 +1,28 @@
+// Minimal leveled logger. The reverse-engineering tools narrate their steps
+// (like the real DRAMDig binary would); examples enable info-level output,
+// tests and benches keep it off by default.
+#pragma once
+
+#include <string>
+
+namespace dramdig {
+
+enum class log_level { off = 0, error = 1, info = 2, debug = 3 };
+
+/// Global verbosity; defaults to off so library users opt in.
+void set_log_level(log_level level);
+[[nodiscard]] log_level current_log_level();
+
+void log_line(log_level level, const std::string& message);
+
+inline void log_info(const std::string& message) {
+  log_line(log_level::info, message);
+}
+inline void log_debug(const std::string& message) {
+  log_line(log_level::debug, message);
+}
+inline void log_error(const std::string& message) {
+  log_line(log_level::error, message);
+}
+
+}  // namespace dramdig

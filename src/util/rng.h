@@ -1,0 +1,56 @@
+// Deterministic random number generation. Every stochastic component in the
+// project (timing noise, allocator fragmentation, DRAMA's random pools, the
+// rowhammer cell lottery) draws from an explicitly seeded rng so that tests
+// and benchmark tables are reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "util/expect.h"
+
+namespace dramdig {
+
+class rng {
+ public:
+  explicit rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) {
+    DRAMDIG_EXPECTS(bound > 0);
+    return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi].
+  [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    DRAMDIG_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Normal deviate.
+  [[nodiscard]] double gaussian(double mean, double sigma) {
+    return std::normal_distribution<double>(mean, sigma)(engine_);
+  }
+
+  /// Derive an independent child stream; lets subsystems own their rngs
+  /// without coupling their draw order.
+  [[nodiscard]] rng fork() { return rng(engine_()); }
+
+  /// Access the underlying engine (for std::shuffle and distributions).
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dramdig

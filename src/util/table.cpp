@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/expect.h"
+
+namespace dramdig {
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DRAMDIG_EXPECTS(!headers_.empty());
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+  DRAMDIG_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string text_table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::string rule = "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string fmt_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_duration_s(double seconds) {
+  char buf[64];
+  if (seconds < 0) return "n/a";
+  const int mins = static_cast<int>(seconds) / 60;
+  const double rem = seconds - 60.0 * mins;
+  if (mins == 0) {
+    std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+  } else {
+    std::snprintf(buf, sizeof buf, "%dm %04.1fs", mins, rem);
+  }
+  return buf;
+}
+
+}  // namespace dramdig

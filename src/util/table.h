@@ -1,0 +1,31 @@
+// ASCII table rendering for the benchmark harnesses. Every bench binary
+// reprints a paper table/figure as rows of text; this keeps the formatting
+// in one place so the output stays visually consistent across experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dramdig {
+
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column auto-sizing, `|` separators and a header rule.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helper: fixed decimals, no locale traps.
+[[nodiscard]] std::string fmt_double(double v, int decimals = 1);
+
+/// Seconds rendered as "Xm YYs" for readability in time-cost tables.
+[[nodiscard]] std::string fmt_duration_s(double seconds);
+
+}  // namespace dramdig

@@ -1,0 +1,102 @@
+#include "baselines/xiao.h"
+
+#include <gtest/gtest.h>
+
+#include "core/environment.h"
+#include "dram/presets.h"
+
+namespace dramdig::baselines {
+namespace {
+
+TEST(XiaoSupports, ExactlyTheFourPaperMachines) {
+  // Section IV-A: the tool works on No.1, No.3, No.4, No.5 and fails on
+  // No.2 and No.6-9.
+  for (const auto& m : dram::paper_machines()) {
+    const bool expected =
+        m.number == 1 || m.number == 3 || m.number == 4 || m.number == 5;
+    EXPECT_EQ(xiao_supports(m), expected) << m.label();
+  }
+}
+
+class XiaoOnPaperMachine : public ::testing::TestWithParam<int> {};
+
+TEST_P(XiaoOnPaperMachine, OutcomeMatchesSectionIVA) {
+  const auto& spec = dram::machine_by_number(GetParam());
+  core::environment env(spec, 13);
+  xiao_tool tool(env);
+  const auto report = tool.run();
+
+  const bool should_work = xiao_supports(spec);
+  EXPECT_EQ(report.success, should_work) << report.note;
+  if (should_work) {
+    ASSERT_TRUE(report.mapping.has_value());
+    EXPECT_TRUE(report.mapping->equivalent_to(spec.mapping));
+    // "within minutes": template verification is quick.
+    EXPECT_LT(report.total_seconds, 600.0);
+  } else {
+    EXPECT_TRUE(report.stalled);
+    // The tool hangs; we charge its stall budget.
+    EXPECT_GE(report.total_seconds, 1800.0 * 0.9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNineMachines, XiaoOnPaperMachine,
+                         ::testing::Range(1, 10),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "No" + std::to_string(info.param);
+                         });
+
+TEST(Xiao, StuckOnNo6ResolvesOnlyStridePairs) {
+  // The paper: "stuck after resolving (16,20), (17,21), (18,22) as 3 of 6
+  // bank address functions" on machine No.6. Our stride scan recovers the
+  // same flavour of partial result: some two-bit pairs, fewer than six
+  // functions, then a stall.
+  core::environment env(dram::machine_by_number(6), 13);
+  xiao_tool tool(env);
+  const auto report = tool.run();
+  ASSERT_TRUE(report.stalled);
+  EXPECT_LT(report.resolved_functions.size(), 6u);
+  EXPECT_GE(report.resolved_functions.size(), 2u);
+  // The clean stride-4 pairs not blocked by the wide function are found.
+  const std::uint64_t f1620 = (1ull << 16) | (1ull << 20);
+  const std::uint64_t f1721 = (1ull << 17) | (1ull << 21);
+  EXPECT_TRUE(gf2::in_span(report.resolved_functions, f1620));
+  EXPECT_TRUE(gf2::in_span(report.resolved_functions, f1721));
+}
+
+TEST(Xiao, TemplateVerificationRejectsWrongMachine) {
+  // A No.3-geometry machine whose real mapping differs from the template:
+  // the timing check must refuse it rather than mis-report.
+  dram::machine_spec tampered = dram::machine_by_number(3);
+  // Swap two functions' row partners: (13,18),(14,17) instead of
+  // (13,17),(14,18).
+  tampered.mapping = dram::address_mapping(
+      {(1ull << 13) | (1ull << 18), (1ull << 14) | (1ull << 17),
+       (1ull << 15) | (1ull << 19), (1ull << 16) | (1ull << 20)},
+      tampered.mapping.row_bits(), tampered.mapping.column_bits(),
+      tampered.mapping.address_bits());
+  core::environment env(tampered, 13);
+  xiao_tool tool(env);
+  const auto report = tool.run();
+  if (report.success) {
+    // If the fallback scan succeeded it must report the *actual* mapping.
+    EXPECT_TRUE(report.mapping->equivalent_to(tampered.mapping));
+  } else {
+    EXPECT_TRUE(report.stalled);
+  }
+  EXPECT_NE(report.note.find("template"), std::string::npos);
+}
+
+TEST(Xiao, DeterministicOnSupportedMachines) {
+  for (std::uint64_t seed : {3ull, 4ull}) {
+    core::environment env(dram::machine_by_number(4), seed);
+    xiao_tool tool(env);
+    const auto report = tool.run();
+    ASSERT_TRUE(report.success);
+    EXPECT_TRUE(report.mapping->equivalent_to(
+        dram::machine_by_number(4).mapping));
+  }
+}
+
+}  // namespace
+}  // namespace dramdig::baselines

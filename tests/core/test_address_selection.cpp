@@ -1,0 +1,97 @@
+#include "core/address_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core_test_util.h"
+#include "util/bitops.h"
+
+namespace dramdig::core {
+namespace {
+
+using testing::pipeline_fixture;
+
+TEST(AddressSelection, MachineNo1PoolShape) {
+  pipeline_fixture f(1);
+  // Coarse bank bits on No.1: {6, 14..19}.
+  const std::vector<unsigned> bank_bits{6, 14, 15, 16, 17, 18, 19};
+  const auto sel = select_addresses(f.buffer, bank_bits);
+  ASSERT_TRUE(sel.found);
+  EXPECT_EQ(sel.b_min, 6u);
+  EXPECT_EQ(sel.b_max, 19u);
+  EXPECT_EQ(sel.miss_mask, mask_of_bits({7, 8, 9, 10, 11, 12, 13}));
+  // One address per bank-bit combination.
+  EXPECT_EQ(sel.pool.size(), 128u);
+}
+
+TEST(AddressSelection, MachineNo6PoolMatchesPaperCount) {
+  // Section IV-B: the Skylake 16 GiB machines select "almost 16,000"
+  // addresses.
+  pipeline_fixture f(6);
+  const std::vector<unsigned> bank_bits{7,  8,  9,  12, 13, 14, 15,
+                                        16, 17, 18, 19, 20, 21, 22};
+  const auto sel = select_addresses(f.buffer, bank_bits);
+  ASSERT_TRUE(sel.found);
+  EXPECT_EQ(sel.pool.size(), 16384u);
+}
+
+TEST(AddressSelection, PoolEnumeratesEveryBankBitCombinationOnce) {
+  pipeline_fixture f(1);
+  const std::vector<unsigned> bank_bits{6, 14, 15, 16, 17, 18, 19};
+  const auto sel = select_addresses(f.buffer, bank_bits);
+  ASSERT_TRUE(sel.found);
+  const std::uint64_t selector = mask_of_bits(bank_bits);
+  std::set<std::uint64_t> patterns;
+  for (std::uint64_t p : sel.pool) {
+    patterns.insert(p & selector);
+  }
+  EXPECT_EQ(patterns.size(), sel.pool.size()) << "duplicate bank patterns";
+  EXPECT_EQ(patterns.size(), 128u) << "missing combinations";
+}
+
+TEST(AddressSelection, NonCandidateBitsAreConstantAcrossPool) {
+  pipeline_fixture f(3);
+  const std::vector<unsigned> bank_bits{13, 14, 15, 16, 17, 18, 19, 20};
+  const auto sel = select_addresses(f.buffer, bank_bits);
+  ASSERT_TRUE(sel.found);
+  const std::uint64_t variable = mask_of_bits(bank_bits);
+  std::set<std::uint64_t> fixed_parts;
+  for (std::uint64_t p : sel.pool) fixed_parts.insert(p & ~variable);
+  EXPECT_EQ(fixed_parts.size(), 1u);
+}
+
+TEST(AddressSelection, PoolAddressesAreBacked) {
+  pipeline_fixture f(2);
+  const std::vector<unsigned> bank_bits{7, 8, 9, 12, 13, 14, 15, 16,
+                                        17, 18, 19, 20, 21};
+  const auto sel = select_addresses(f.buffer, bank_bits);
+  ASSERT_TRUE(sel.found);
+  for (std::uint64_t p : sel.pool) {
+    EXPECT_TRUE(f.buffer.contains_page(p / os::kPageSize));
+  }
+}
+
+TEST(AddressSelection, FailsOnHeavilyFragmentedMemory) {
+  // With fragmentation near 1 the buffer has no multi-MiB contiguous run,
+  // so the bank-bit span (up to bit 21) cannot be covered.
+  environment env(dram::machine_by_number(3), 5, /*fragmentation=*/0.98);
+  const auto& buffer = env.space().map_buffer(env.spec().memory_bytes / 2);
+  const std::vector<unsigned> bank_bits{13, 14, 15, 16, 17, 18, 19, 20};
+  const auto sel = select_addresses(buffer, bank_bits);
+  EXPECT_FALSE(sel.found);
+  EXPECT_TRUE(sel.pool.empty());
+}
+
+TEST(AddressSelection, RejectsEmptyBankBits) {
+  pipeline_fixture f(1);
+  EXPECT_THROW((void)select_addresses(f.buffer, {}), contract_violation);
+}
+
+TEST(AddressSelection, RejectsUnsortedBankBits) {
+  pipeline_fixture f(1);
+  EXPECT_THROW((void)select_addresses(f.buffer, {14, 6}), contract_violation);
+}
+
+}  // namespace
+}  // namespace dramdig::core

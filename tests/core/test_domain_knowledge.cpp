@@ -1,0 +1,47 @@
+#include "core/domain_knowledge.h"
+
+#include <gtest/gtest.h>
+
+#include "dram/presets.h"
+#include "sysinfo/system_info.h"
+
+namespace dramdig::core {
+namespace {
+
+TEST(DomainKnowledge, MachineNo1) {
+  const auto dk = domain_knowledge::from_system_info(
+      sysinfo::probe(dram::machine_by_number(1)));
+  EXPECT_EQ(dk.address_bits, 33u);
+  EXPECT_EQ(dk.total_banks, 16u);
+  EXPECT_EQ(dk.bank_function_count, 4u);
+  EXPECT_EQ(dk.expected_row_bits, 16u);
+  EXPECT_EQ(dk.expected_column_bits, 13u);
+  EXPECT_EQ(dk.min_probe_bit, 6u);
+}
+
+TEST(DomainKnowledge, MachineNo6) {
+  const auto dk = domain_knowledge::from_system_info(
+      sysinfo::probe(dram::machine_by_number(6)));
+  EXPECT_EQ(dk.address_bits, 34u);
+  EXPECT_EQ(dk.total_banks, 64u);
+  EXPECT_EQ(dk.bank_function_count, 6u);
+  EXPECT_EQ(dk.expected_row_bits, 15u);
+  EXPECT_EQ(dk.expected_column_bits, 13u);
+}
+
+TEST(DomainKnowledge, BitAccountingHoldsForAllMachines) {
+  for (const auto& m : dram::paper_machines()) {
+    const auto dk = domain_knowledge::from_system_info(sysinfo::probe(m));
+    EXPECT_EQ(dk.expected_row_bits + dk.expected_column_bits +
+                  dk.bank_function_count,
+              dk.address_bits)
+        << m.label();
+    // The knowledge-predicted counts must match the ground truth mapping.
+    EXPECT_EQ(dk.expected_row_bits, m.mapping.row_bits().size()) << m.label();
+    EXPECT_EQ(dk.expected_column_bits, m.mapping.column_bits().size())
+        << m.label();
+  }
+}
+
+}  // namespace
+}  // namespace dramdig::core

@@ -1,0 +1,60 @@
+#include "dram/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.h"
+
+namespace dramdig::dram {
+namespace {
+
+TEST(Spec, Ddr3EightBanks) {
+  const chip_spec s = spec_for(ddr_generation::ddr3, 8);
+  EXPECT_EQ(s.banks_per_rank, 8u);
+  EXPECT_EQ(s.row_bytes, 8u * 1024);
+  EXPECT_DOUBLE_EQ(s.refresh_interval_ms, 64.0);
+}
+
+TEST(Spec, Ddr4SixteenBanks) {
+  const chip_spec s = spec_for(ddr_generation::ddr4, 16);
+  EXPECT_EQ(s.banks_per_rank, 16u);
+}
+
+TEST(Spec, Ddr4X16EightBanks) {
+  // Machine No.7: x16 DDR4 devices expose 8 banks.
+  const chip_spec s = spec_for(ddr_generation::ddr4, 8);
+  EXPECT_EQ(s.banks_per_rank, 8u);
+}
+
+TEST(Spec, Ddr3SixteenBanksRejected) {
+  EXPECT_THROW((void)spec_for(ddr_generation::ddr3, 16), contract_violation);
+}
+
+TEST(Spec, OddBankCountRejected) {
+  EXPECT_THROW((void)spec_for(ddr_generation::ddr4, 12), contract_violation);
+}
+
+TEST(Spec, ColumnBitsAre13ForEightKiBRows) {
+  // 8 KiB rows => 13 byte-offset column bits — every row of Table II.
+  EXPECT_EQ(expected_column_bits(spec_for(ddr_generation::ddr3, 8)), 13u);
+  EXPECT_EQ(expected_column_bits(spec_for(ddr_generation::ddr4, 16)), 13u);
+}
+
+TEST(Spec, RowBitsMachineNo1) {
+  // 8 GiB / (16 banks x 8 KiB rows) = 2^16 rows.
+  const chip_spec s = spec_for(ddr_generation::ddr3, 8);
+  EXPECT_EQ(expected_row_bits(s, 8ull << 30, 16), 16u);
+}
+
+TEST(Spec, RowBitsMachineNo6) {
+  // 16 GiB / (64 banks x 8 KiB rows) = 2^15 rows.
+  const chip_spec s = spec_for(ddr_generation::ddr4, 16);
+  EXPECT_EQ(expected_row_bits(s, 16ull << 30, 64), 15u);
+}
+
+TEST(Spec, ToStringNames) {
+  EXPECT_EQ(to_string(ddr_generation::ddr3), "DDR3");
+  EXPECT_EQ(to_string(ddr_generation::ddr4), "DDR4");
+}
+
+}  // namespace
+}  // namespace dramdig::dram

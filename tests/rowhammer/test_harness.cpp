@@ -1,0 +1,165 @@
+#include "rowhammer/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/drama.h"
+#include "core/environment.h"
+#include "dram/presets.h"
+#include "sim/machine.h"
+#include "sim/profiles.h"
+
+namespace dramdig::rowhammer {
+namespace {
+
+hammer_config quick_test(double seconds = 60.0) {
+  hammer_config cfg{};
+  cfg.duration_seconds = seconds;
+  return cfg;
+}
+
+TEST(Harness, GroundTruthMappingIsAlwaysDoubleSided) {
+  const auto& spec = dram::machine_by_number(2);
+  sim::machine machine(spec, 3, sim::timing_profile_for(spec));
+  rng r(3);
+  const auto stats = run_double_sided_test(machine, spec.mapping, r,
+                                           quick_test());
+  EXPECT_GT(stats.windows, 800u);
+  EXPECT_EQ(stats.encode_failures, 0u);
+  EXPECT_EQ(stats.true_double_sided, stats.windows);
+  EXPECT_DOUBLE_EQ(stats.double_sided_fidelity(), 1.0);
+  EXPECT_GT(stats.bit_flips, 50u);
+}
+
+TEST(Harness, FiveMinuteTestExecutesExpectedWindows) {
+  const auto& spec = dram::machine_by_number(1);
+  sim::machine machine(spec, 4, sim::timing_profile_for(spec));
+  rng r(4);
+  const auto stats = run_double_sided_test(machine, spec.mapping, r);
+  // 300 s / 64.3 ms per refresh-window hammer.
+  EXPECT_NEAR(static_cast<double>(stats.windows), 300.0 / 0.0643, 80.0);
+}
+
+TEST(Harness, WrongRowBitsHarvestAlmostNothing) {
+  // Off-by-one row hypothesis (the DRAMA failure mode on No.2): "row +- 1"
+  // toggles a bank bit instead, so pairs land in different banks.
+  const auto& spec = dram::machine_by_number(2);
+  std::vector<unsigned> rows{17};  // bit 17 is really a pure bank bit
+  for (unsigned b = 18; b <= 32; ++b) rows.push_back(b);
+  std::vector<unsigned> cols = spec.mapping.column_bits();
+  // Keep the hypothesis bijective: 33 bits = 16 rows + 13 cols + 4
+  // functions over the remaining pure bits {7, 14, 15, 16}.
+  const std::vector<std::uint64_t> funcs{
+      1ull << 7, (1ull << 14) | (1ull << 18), (1ull << 15) | (1ull << 19),
+      (1ull << 16) | (1ull << 20)};
+  const dram::address_mapping wrong(funcs, rows, cols, 33);
+  ASSERT_TRUE(wrong.is_bijective());
+
+  sim::machine machine(spec, 5, sim::timing_profile_for(spec));
+  rng r(5);
+  const auto stats = run_double_sided_test(machine, wrong, r, quick_test());
+  EXPECT_LT(stats.double_sided_fidelity(), 0.2);
+
+  sim::machine oracle_machine(spec, 5, sim::timing_profile_for(spec));
+  rng r2(5);
+  const auto oracle =
+      run_double_sided_test(oracle_machine, spec.mapping, r2, quick_test());
+  EXPECT_LT(stats.bit_flips * 4, oracle.bit_flips + 8);
+}
+
+TEST(Harness, SingleSidedModeYieldsFarFewerFlips) {
+  const auto& spec = dram::machine_by_number(2);
+  sim::machine ds_machine(spec, 9, sim::timing_profile_for(spec));
+  sim::machine ss_machine(spec, 9, sim::timing_profile_for(spec));
+  rng r1(9), r2(9);
+  hammer_config ds_cfg = quick_test();
+  hammer_config ss_cfg = quick_test();
+  ss_cfg.mode = hammer_mode::single_sided;
+  const auto ds = run_double_sided_test(ds_machine, spec.mapping, r1, ds_cfg);
+  const auto ss = run_double_sided_test(ss_machine, spec.mapping, r2, ss_cfg);
+  // Single-sided pairs still conflict (SBDR) but never sandwich.
+  EXPECT_GT(ss.true_sbdr, ss.windows * 9 / 10);
+  EXPECT_EQ(ss.true_double_sided, 0u);
+  EXPECT_GT(ds.bit_flips, 3 * ss.bit_flips);
+}
+
+TEST(Harness, FlipCountsScaleWithVulnerability) {
+  auto flips_on = [](int machine_no) {
+    const auto& spec = dram::machine_by_number(machine_no);
+    sim::machine machine(spec, 6, sim::timing_profile_for(spec));
+    rng r(6);
+    return run_double_sided_test(machine, spec.mapping, r, quick_test())
+        .bit_flips;
+  };
+  const auto no2 = flips_on(2);
+  const auto no1 = flips_on(1);
+  const auto no5 = flips_on(5);
+  EXPECT_GT(no2, no1);
+  EXPECT_GT(no1, no5);
+}
+
+TEST(Harness, RepeatedTestsAreIndependent) {
+  // reset_flips between tests: two identical tests yield similar counts
+  // (same weak cells, fresh flip state).
+  const auto& spec = dram::machine_by_number(2);
+  sim::machine machine(spec, 7, sim::timing_profile_for(spec));
+  rng r1(100), r2(100);
+  const auto a = run_double_sided_test(machine, spec.mapping, r1,
+                                       quick_test(30));
+  const auto b = run_double_sided_test(machine, spec.mapping, r2,
+                                       quick_test(30));
+  EXPECT_EQ(a.windows, b.windows);
+  EXPECT_NEAR(static_cast<double>(a.bit_flips),
+              static_cast<double>(b.bit_flips),
+              static_cast<double>(a.bit_flips) * 0.5 + 8);
+}
+
+TEST(Harness, EncodeFailuresAreCountedAndCharged) {
+  // A deliberately non-bijective hypothesis: bank function over row bits
+  // only, so most (bank,row) coordinates are unreachable.
+  const auto& spec = dram::machine_by_number(4);
+  std::vector<unsigned> rows;
+  for (unsigned b = 17; b <= 31; ++b) rows.push_back(b);
+  std::vector<unsigned> cols;
+  for (unsigned b = 0; b <= 12; ++b) cols.push_back(b);
+  const dram::address_mapping degenerate(
+      {(1ull << 20) | (1ull << 21), (1ull << 13) | (1ull << 16),
+       (1ull << 14) | (1ull << 17), (1ull << 15)},
+      rows, cols, 32);
+  ASSERT_FALSE(degenerate.is_bijective());
+
+  sim::machine machine(spec, 8, sim::timing_profile_for(spec));
+  rng r(8);
+  const auto stats =
+      run_double_sided_test(machine, degenerate, r, quick_test(30));
+  EXPECT_GT(stats.encode_failures, 0u);
+  EXPECT_GT(stats.windows, 300u);  // time still passes while it flails
+}
+
+TEST(Harness, DramaDerivedMappingUnderperformsOnNo2) {
+  // The Table III mechanism, in miniature: a DRAMA run on the mobile No.2
+  // is hammered against a DRAMDig-grade (ground truth) mapping.
+  const auto& spec = dram::machine_by_number(2);
+  core::environment env(spec, 21);
+  baselines::drama_config cfg{};
+  cfg.pool_size = 2000;
+  cfg.calibration_pairs = 300;
+  cfg.max_trials = 4;
+  baselines::drama_tool drama(env, cfg);
+  const auto drama_report = drama.run();
+
+  rng r(21);
+  const auto truth_stats = run_double_sided_test(env.mach(), spec.mapping, r,
+                                                 quick_test());
+  if (drama_report.mapping) {
+    rng r2(21);
+    const auto drama_stats = run_double_sided_test(
+        env.mach(), *drama_report.mapping, r2, quick_test());
+    // At best DRAMA ties the oracle (sampling noise aside); a wrong trial
+    // output lands far below it.
+    EXPECT_LE(static_cast<double>(drama_stats.bit_flips),
+              static_cast<double>(truth_stats.bit_flips) * 1.3 + 10);
+  }
+}
+
+}  // namespace
+}  // namespace dramdig::rowhammer

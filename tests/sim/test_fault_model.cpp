@@ -1,0 +1,178 @@
+#include "sim/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include "dram/presets.h"
+#include "sim/virtual_clock.h"
+
+namespace dramdig::sim {
+namespace {
+
+struct fault_fixture {
+  dram::machine_spec spec = dram::machine_by_number(2);  // most vulnerable
+  virtual_clock clock;
+  fault_model faults;
+
+  explicit fault_fixture(std::uint64_t seed = 7)
+      : faults(spec.mapping, spec.vulnerability, timing_model{}, clock, seed) {}
+
+  /// Physical addresses of (bank, row, col 0).
+  [[nodiscard]] std::uint64_t at(std::uint64_t bank, std::uint64_t row) const {
+    return *spec.mapping.encode(bank, row, 0);
+  }
+};
+
+TEST(FaultModel, WindowDurationIsOneRefreshInterval) {
+  fault_fixture f;
+  EXPECT_NEAR(f.faults.window_ns(), 64e6, 1e6);
+}
+
+TEST(FaultModel, HammerAdvancesClock) {
+  fault_fixture f;
+  const auto t0 = f.clock.now_ns();
+  (void)f.faults.hammer_pair(f.at(0, 10), f.at(0, 12));
+  EXPECT_NEAR(static_cast<double>(f.clock.now_ns() - t0), 64e6, 1e6);
+}
+
+TEST(FaultModel, CrossBankPairIsIneffective) {
+  fault_fixture f;
+  std::uint64_t flips = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto out = f.faults.hammer_pair(f.at(0, 10 + i), f.at(1, 12 + i));
+    EXPECT_FALSE(out.effective_hammer);
+    flips += out.new_flips;
+  }
+  EXPECT_EQ(flips, 0u);
+}
+
+TEST(FaultModel, SameRowPairIsIneffective) {
+  fault_fixture f;
+  const auto out = f.faults.hammer_pair(f.at(0, 10), f.at(0, 10));
+  EXPECT_FALSE(out.effective_hammer);
+  EXPECT_EQ(out.new_flips, 0u);
+}
+
+TEST(FaultModel, DoubleSidedLayoutRecognized) {
+  fault_fixture f;
+  const auto out = f.faults.hammer_pair(f.at(3, 100), f.at(3, 102));
+  EXPECT_TRUE(out.effective_hammer);
+  EXPECT_TRUE(out.effective_double_sided);
+}
+
+TEST(FaultModel, NonAdjacentSbdrIsSingleSidedOnly) {
+  fault_fixture f;
+  const auto out = f.faults.hammer_pair(f.at(3, 100), f.at(3, 200));
+  EXPECT_TRUE(out.effective_hammer);
+  EXPECT_FALSE(out.effective_double_sided);
+}
+
+TEST(FaultModel, DoubleSidedYieldsFarMoreFlipsThanSingleSided) {
+  fault_fixture ds(11), ss(11);
+  std::uint64_t ds_flips = 0, ss_flips = 0;
+  for (std::uint64_t v = 10; v < 2010; v += 4) {
+    ds_flips += ds.faults.hammer_pair(ds.at(0, v - 1), ds.at(0, v + 1)).new_flips;
+    ss_flips += ss.faults.hammer_pair(ss.at(0, v), ss.at(0, v + 1000)).new_flips;
+  }
+  EXPECT_GT(ds_flips, 50u);
+  EXPECT_GT(ds_flips, ss_flips * 3);
+}
+
+TEST(FaultModel, FlipsAreUniqueCells) {
+  fault_fixture f;
+  // Hammer the same victim repeatedly: the weak cells flip once.
+  std::uint64_t total = 0;
+  for (int i = 0; i < 50; ++i) {
+    total += f.faults.hammer_pair(f.at(0, 99), f.at(0, 101)).new_flips;
+  }
+  EXPECT_LE(total, f.spec.vulnerability.max_flips_per_row + 2u);
+  EXPECT_EQ(total, f.faults.total_flips());
+}
+
+TEST(FaultModel, ResetRestoresFlippedCells) {
+  fault_fixture f;
+  std::uint64_t first = 0;
+  for (int i = 0; i < 50; ++i) {
+    first += f.faults.hammer_pair(f.at(0, 99), f.at(0, 101)).new_flips;
+  }
+  f.faults.reset_flips();
+  EXPECT_EQ(f.faults.total_flips(), 0u);
+  std::uint64_t second = 0;
+  for (int i = 0; i < 50; ++i) {
+    second += f.faults.hammer_pair(f.at(0, 99), f.at(0, 101)).new_flips;
+  }
+  EXPECT_EQ(first, second);  // same weak cells, deterministic weakness
+}
+
+TEST(FaultModel, WeakCellsAreStablePerMachineSeed) {
+  fault_fixture a(5), b(5), c(6);
+  int same_ab = 0, same_ac = 0;
+  for (std::uint64_t row = 0; row < 200; ++row) {
+    same_ab += a.faults.weak_cells(0, row) == b.faults.weak_cells(0, row);
+    same_ac += a.faults.weak_cells(0, row) == c.faults.weak_cells(0, row);
+  }
+  EXPECT_EQ(same_ab, 200);
+  EXPECT_LT(same_ac, 200);  // different machines have different weak cells
+}
+
+TEST(FaultModel, WeakCellDensityMatchesModel) {
+  fault_fixture f;
+  int zero = 0;
+  for (std::uint64_t row = 0; row < 3000; ++row) {
+    if (f.faults.weak_cells(1, row) == 0) ++zero;
+  }
+  // ~37% of rows have no weak cell.
+  EXPECT_NEAR(zero / 3000.0, 0.37, 0.05);
+}
+
+TEST(FaultModel, FlippedInRowTracksVictims) {
+  fault_fixture f;
+  // Find a victim row with weak cells, hammer until it flips.
+  std::uint64_t victim = 0;
+  for (std::uint64_t v = 50; v < 500; ++v) {
+    if (f.faults.weak_cells(0, v) > 0) {
+      victim = v;
+      break;
+    }
+  }
+  ASSERT_GT(victim, 0u);
+  EXPECT_EQ(f.faults.flipped_in_row(0, victim), 0u);
+  for (int w = 0; w < 60; ++w) {
+    (void)f.faults.hammer_pair(f.at(0, victim - 1), f.at(0, victim + 1));
+  }
+  EXPECT_GT(f.faults.flipped_in_row(0, victim), 0u);
+  EXPECT_LE(f.faults.flipped_in_row(0, victim),
+            f.faults.weak_cells(0, victim));
+  f.faults.reset_flips();
+  EXPECT_EQ(f.faults.flipped_in_row(0, victim), 0u);
+}
+
+TEST(FaultModel, FlippedInRowIgnoresOtherRows) {
+  fault_fixture f;
+  for (int w = 0; w < 60; ++w) {
+    (void)f.faults.hammer_pair(f.at(0, 99), f.at(0, 101));
+  }
+  // Rows far away remain clean.
+  EXPECT_EQ(f.faults.flipped_in_row(0, 5000), 0u);
+  EXPECT_EQ(f.faults.flipped_in_row(3, 100), 0u);
+}
+
+TEST(FaultModel, VulnerabilityProfilesScaleFlips) {
+  // No.5 (barely vulnerable) vs No.2 (highly vulnerable), same workload.
+  auto run = [](int machine, std::uint64_t seed) {
+    const auto spec = dram::machine_by_number(machine);
+    virtual_clock clock;
+    fault_model faults(spec.mapping, spec.vulnerability, timing_model{}, clock,
+                       seed);
+    std::uint64_t flips = 0;
+    for (std::uint64_t v = 10; v < 1210; v += 4) {
+      const auto a = *spec.mapping.encode(0, v - 1, 0);
+      const auto b = *spec.mapping.encode(0, v + 1, 0);
+      flips += faults.hammer_pair(a, b).new_flips;
+    }
+    return flips;
+  };
+  EXPECT_GT(run(2, 3), 20 * run(5, 3) + 10);
+}
+
+}  // namespace
+}  // namespace dramdig::sim

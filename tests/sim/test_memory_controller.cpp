@@ -1,0 +1,160 @@
+#include "sim/memory_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "dram/presets.h"
+#include "sim/virtual_clock.h"
+#include "util/rng.h"
+
+namespace dramdig::sim {
+namespace {
+
+struct controller_fixture {
+  dram::machine_spec spec = dram::machine_by_number(1);
+  virtual_clock clock;
+  timing_model timing{};
+  memory_controller mc;
+
+  explicit controller_fixture(std::uint64_t seed = 1, timing_model t = {})
+      : timing(t), mc(spec.mapping, t, clock, rng(seed)) {}
+
+  /// Two addresses in the same bank, different rows.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> sbdr_pair() const {
+    const std::uint64_t p = 0;
+    // Flipping a pure row bit keeps the bank: bit 20 is row-only on No.1.
+    return {p, p | (1ull << 20)};
+  }
+  /// Two addresses in different banks.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> cross_bank_pair()
+      const {
+    // Bit 6 is the channel function on No.1.
+    return {0, 1ull << 6};
+  }
+  /// Same bank, same row, different column.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> same_row_pair() const {
+    return {0, 1ull << 8};
+  }
+};
+
+TEST(MemoryController, IdealLatencyClassifiesRelationships) {
+  controller_fixture f;
+  const auto [a1, a2] = f.sbdr_pair();
+  EXPECT_DOUBLE_EQ(f.mc.ideal_pair_latency_ns(a1, a2),
+                   f.timing.row_conflict_ns);
+  const auto [b1, b2] = f.cross_bank_pair();
+  EXPECT_DOUBLE_EQ(f.mc.ideal_pair_latency_ns(b1, b2), f.timing.row_hit_ns);
+  const auto [c1, c2] = f.same_row_pair();
+  EXPECT_DOUBLE_EQ(f.mc.ideal_pair_latency_ns(c1, c2), f.timing.row_hit_ns);
+}
+
+TEST(MemoryController, MeasurePairTracksIdealWithinNoise) {
+  controller_fixture f;
+  const auto [a1, a2] = f.sbdr_pair();
+  for (int i = 0; i < 20; ++i) {
+    const auto m = f.mc.measure_pair(a1, a2, 1000);
+    if (!m.contaminated) {
+      EXPECT_NEAR(m.mean_access_ns, f.timing.row_conflict_ns, 2.0);
+    }
+  }
+}
+
+TEST(MemoryController, MeasurementSeparationIsClean) {
+  // The SBDR gap must be much larger than the sampling noise — this is
+  // the whole premise of the timing channel.
+  controller_fixture f;
+  const auto [a1, a2] = f.sbdr_pair();
+  const auto [b1, b2] = f.cross_bank_pair();
+  for (int i = 0; i < 50; ++i) {
+    const double slow = f.mc.measure_pair(a1, a2, 1000).mean_access_ns;
+    const double fast = f.mc.measure_pair(b1, b2, 1000).mean_access_ns;
+    EXPECT_GT(slow, fast);
+  }
+}
+
+TEST(MemoryController, AccessUpdatesRowBuffer) {
+  controller_fixture f;
+  // First touch: bank closed. Second touch same row (bit 7 is a column
+  // bit on No.1; bit 6 would switch channels): hit. Conflict after
+  // another row in the same bank.
+  const double first = f.mc.access(0);
+  EXPECT_NEAR(first, f.timing.row_closed_ns, 50);
+  const double hit = f.mc.access(128);
+  EXPECT_NEAR(hit, f.timing.row_hit_ns, 50);
+  const double conflict = f.mc.access(1ull << 20);
+  EXPECT_NEAR(conflict, f.timing.row_conflict_ns, 50);
+}
+
+TEST(MemoryController, ClockAdvancesWithWork) {
+  controller_fixture f;
+  const std::uint64_t before = f.clock.now_ns();
+  (void)f.mc.measure_pair(0, 1ull << 20, 500);
+  const std::uint64_t after = f.clock.now_ns();
+  // 1000 accesses x ~(330 + 55 + 15) ns.
+  EXPECT_GT(after - before, 300'000u);
+  EXPECT_LT(after - before, 600'000u);
+}
+
+TEST(MemoryController, CountsAccessesAndMeasurements) {
+  controller_fixture f;
+  (void)f.mc.measure_pair(0, 64, 250);
+  (void)f.mc.access(0);
+  EXPECT_EQ(f.mc.measurement_count(), 1u);
+  EXPECT_EQ(f.mc.access_count(), 501u);
+}
+
+TEST(MemoryController, RejectsOutOfRangeAddresses) {
+  controller_fixture f;
+  EXPECT_THROW((void)f.mc.access(f.spec.memory_bytes), contract_violation);
+  EXPECT_THROW((void)f.mc.measure_pair(0, f.spec.memory_bytes, 10),
+               contract_violation);
+}
+
+TEST(MemoryController, ContaminationIsOneSided) {
+  timing_model noisy{};
+  noisy.contamination_chance = 0.5;
+  controller_fixture f(3, noisy);
+  const auto [b1, b2] = f.cross_bank_pair();
+  for (int i = 0; i < 200; ++i) {
+    const auto m = f.mc.measure_pair(b1, b2, 1000);
+    // Contamination only ever inflates the reading.
+    EXPECT_GT(m.mean_access_ns, f.timing.row_hit_ns - 5.0);
+  }
+}
+
+TEST(MemoryController, ContaminationFrequencyMatchesConfig) {
+  timing_model noisy{};
+  noisy.contamination_chance = 0.25;
+  noisy.burst_mean_interval_s = 1e9;  // no bursts
+  controller_fixture f(4, noisy);
+  int contaminated = 0;
+  for (int i = 0; i < 2000; ++i) {
+    contaminated += f.mc.measure_pair(0, 64, 10).contaminated;
+  }
+  EXPECT_NEAR(contaminated / 2000.0, 0.25, 0.05);
+}
+
+TEST(MemoryController, BurstsElevateContamination) {
+  timing_model bursty{};
+  bursty.contamination_chance = 0.01;
+  bursty.burst_mean_interval_s = 0.001;  // essentially always bursting
+  bursty.burst_mean_duration_s = 1000.0;
+  bursty.burst_contamination_factor = 50.0;
+  controller_fixture f(5, bursty);
+  int contaminated = 0;
+  for (int i = 0; i < 500; ++i) {
+    contaminated += f.mc.measure_pair(0, 64, 10).contaminated;
+  }
+  // 0.01 * 50 = 0.5 while bursting.
+  EXPECT_GT(contaminated, 150);
+}
+
+TEST(MemoryController, DeterministicForEqualSeeds) {
+  controller_fixture a(42), b(42);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.mc.measure_pair(0, 1ull << 20, 100).mean_access_ns,
+                     b.mc.measure_pair(0, 1ull << 20, 100).mean_access_ns);
+  }
+}
+
+}  // namespace
+}  // namespace dramdig::sim

@@ -1,0 +1,89 @@
+#include "sysinfo/system_info.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dram/presets.h"
+
+namespace dramdig::sysinfo {
+namespace {
+
+TEST(Sysinfo, DmidecodeMentionsEveryDimm) {
+  const auto& m = dram::machine_by_number(1);  // 2 channels x 1 DIMM
+  const std::string out = render_dmidecode(m);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n') > 0, true);
+  std::size_t devices = 0, pos = 0;
+  while ((pos = out.find("Memory Device", pos)) != std::string::npos) {
+    ++devices;
+    pos += 1;
+  }
+  EXPECT_EQ(devices, 2u);
+}
+
+TEST(Sysinfo, DecodeDimmsMentionsGeneration) {
+  EXPECT_NE(render_decode_dimms(dram::machine_by_number(1)).find("DDR3 SDRAM"),
+            std::string::npos);
+  EXPECT_NE(render_decode_dimms(dram::machine_by_number(6)).find("DDR4 SDRAM"),
+            std::string::npos);
+}
+
+TEST(Sysinfo, ProbeRoundTripsEveryPaperMachine) {
+  for (const auto& m : dram::paper_machines()) {
+    const system_info info = probe(m);
+    EXPECT_EQ(info.total_bytes, m.memory_bytes) << m.label();
+    EXPECT_EQ(info.total_banks(), m.total_banks()) << m.label();
+    EXPECT_EQ(info.generation, m.generation) << m.label();
+    EXPECT_EQ(info.banks_per_rank, m.banks_per_rank) << m.label();
+    EXPECT_EQ(info.ranks_per_dimm, m.ranks_per_dimm) << m.label();
+    EXPECT_EQ(info.ecc, m.ecc) << m.label();
+  }
+}
+
+TEST(Sysinfo, ParserRejectsEmptyReports) {
+  EXPECT_THROW((void)parse_reports("", ""), std::runtime_error);
+}
+
+TEST(Sysinfo, ParserRejectsMissingGeneration) {
+  const auto& m = dram::machine_by_number(1);
+  EXPECT_THROW((void)parse_reports(render_dmidecode(m), "no spd here"),
+               std::runtime_error);
+}
+
+TEST(Sysinfo, ParserRejectsMissingSizes) {
+  const auto& m = dram::machine_by_number(1);
+  EXPECT_THROW(
+      (void)parse_reports("garbage with Rank: 1", render_decode_dimms(m)),
+      std::runtime_error);
+}
+
+TEST(Sysinfo, ParserToleratesExtraNoiseLines) {
+  const auto& m = dram::machine_by_number(2);
+  const std::string noisy_dmi =
+      "# some banner\n" + render_dmidecode(m) + "\ntrailing junk\n";
+  const std::string noisy_spd =
+      "prefix\n" + render_decode_dimms(m) + "\nsuffix\n";
+  const system_info info = parse_reports(noisy_dmi, noisy_spd);
+  EXPECT_EQ(info.total_bytes, m.memory_bytes);
+  EXPECT_EQ(info.total_banks(), m.total_banks());
+}
+
+TEST(Sysinfo, EccReportedWhenPresent) {
+  dram::machine_spec m = dram::machine_by_number(4);
+  m.ecc = true;
+  const system_info info =
+      parse_reports(render_dmidecode(m), render_decode_dimms(m));
+  EXPECT_TRUE(info.ecc);
+}
+
+TEST(Sysinfo, TotalBanksProduct) {
+  system_info info{};
+  info.channels = 2;
+  info.dimms_per_channel = 1;
+  info.ranks_per_dimm = 2;
+  info.banks_per_rank = 16;
+  EXPECT_EQ(info.total_banks(), 64u);
+}
+
+}  // namespace
+}  // namespace dramdig::sysinfo

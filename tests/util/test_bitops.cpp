@@ -1,0 +1,92 @@
+#include "util/bitops.h"
+
+#include <gtest/gtest.h>
+
+namespace dramdig {
+namespace {
+
+TEST(Bitops, ParityOfEmptyMaskIsZero) {
+  EXPECT_EQ(parity(0xdeadbeef, 0), 0u);
+}
+
+TEST(Bitops, ParitySingleBit) {
+  EXPECT_EQ(parity(0b100, 0b100), 1u);
+  EXPECT_EQ(parity(0b011, 0b100), 0u);
+}
+
+TEST(Bitops, ParityIsXorOfSelectedBits) {
+  // (14,17)-style bank function.
+  const std::uint64_t mask = (1ull << 14) | (1ull << 17);
+  EXPECT_EQ(parity(1ull << 14, mask), 1u);
+  EXPECT_EQ(parity(1ull << 17, mask), 1u);
+  EXPECT_EQ(parity((1ull << 14) | (1ull << 17), mask), 0u);
+}
+
+TEST(Bitops, ParityIgnoresBitsOutsideMask) {
+  const std::uint64_t mask = 0b1010;
+  EXPECT_EQ(parity(0b0101, mask), 0u);
+  EXPECT_EQ(parity(0b1111, mask), 0u);
+  EXPECT_EQ(parity(0b0111, mask), 1u);  // only bit 1 is selected
+}
+
+TEST(Bitops, BitReadsSingleBits) {
+  EXPECT_TRUE(bit(0b100, 2));
+  EXPECT_FALSE(bit(0b100, 1));
+  EXPECT_FALSE(bit(0, 63));
+}
+
+TEST(Bitops, WithBitSetsAndClears) {
+  EXPECT_EQ(with_bit(0, 5, true), 32u);
+  EXPECT_EQ(with_bit(32, 5, false), 0u);
+  EXPECT_EQ(with_bit(32, 5, true), 32u);
+}
+
+TEST(Bitops, MaskOfBitsBuildsUnion) {
+  EXPECT_EQ(mask_of_bits({0, 3, 5}), 0b101001u);
+  EXPECT_EQ(mask_of_bits({}), 0u);
+}
+
+TEST(Bitops, MaskOfBitsRejectsOutOfRange) {
+  EXPECT_THROW((void)mask_of_bits({64}), contract_violation);
+}
+
+TEST(Bitops, BitsOfMaskRoundTrips) {
+  const std::vector<unsigned> bits{1, 7, 13, 63};
+  EXPECT_EQ(bits_of_mask(mask_of_bits(bits)), bits);
+  EXPECT_TRUE(bits_of_mask(0).empty());
+}
+
+TEST(Bitops, GatherBitsExtractsDenseIndex) {
+  // Row extraction: bits {17, 18, 19} of an address become a 3-bit index.
+  const std::vector<unsigned> row_bits{17, 18, 19};
+  EXPECT_EQ(gather_bits(1ull << 17, row_bits), 0b001u);
+  EXPECT_EQ(gather_bits(1ull << 19, row_bits), 0b100u);
+  EXPECT_EQ(gather_bits((1ull << 17) | (1ull << 19), row_bits), 0b101u);
+}
+
+TEST(Bitops, ScatterBitsInvertsGather) {
+  const std::vector<unsigned> bits{3, 9, 21, 33};
+  for (std::uint64_t dense = 0; dense < 16; ++dense) {
+    EXPECT_EQ(gather_bits(scatter_bits(dense, bits), bits), dense);
+  }
+}
+
+TEST(Bitops, GatherScatterWithEmptyBitList) {
+  EXPECT_EQ(gather_bits(0xffffu, {}), 0u);
+  EXPECT_EQ(scatter_bits(0xffffu, {}), 0u);
+}
+
+TEST(Bitops, Log2ExactOnPowersOfTwo) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(4096), 12u);
+  EXPECT_EQ(log2_exact(1ull << 33), 33u);
+}
+
+TEST(Bitops, Log2ExactRejectsNonPowers) {
+  EXPECT_THROW((void)log2_exact(0), contract_violation);
+  EXPECT_THROW((void)log2_exact(3), contract_violation);
+  EXPECT_THROW((void)log2_exact(4097), contract_violation);
+}
+
+}  // namespace
+}  // namespace dramdig

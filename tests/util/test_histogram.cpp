@@ -1,0 +1,116 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dramdig {
+namespace {
+
+TEST(Histogram, BinningBasics) {
+  histogram h(0, 10, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  histogram h(0, 10, 10);
+  h.add(-100);
+  h.add(1e9);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+}
+
+TEST(Histogram, BinGeometry) {
+  histogram h(100, 200, 10);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 100.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 105.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(9), 190.0);
+}
+
+TEST(Histogram, ModeBin) {
+  histogram h(0, 10, 10);
+  h.add_all({1.5, 1.5, 1.5, 7.5});
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(Histogram, AsciiRendersAllBins) {
+  histogram h(0, 4, 4);
+  h.add_all({0.5, 1.5, 2.5});
+  const std::string art = h.ascii(10);
+  // One line per bin.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+/// Synthesize the timing channel's bimodal latency distribution.
+std::vector<double> bimodal(std::size_t fast, std::size_t slow,
+                            std::uint64_t seed) {
+  rng r(seed);
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < fast; ++i) xs.push_back(r.gaussian(165, 3));
+  for (std::size_t i = 0; i < slow; ++i) xs.push_back(r.gaussian(330, 3));
+  return xs;
+}
+
+TEST(ValleyThreshold, SeparatesBalancedModes) {
+  const double t = valley_threshold(bimodal(500, 500, 1));
+  EXPECT_GT(t, 200);
+  EXPECT_LT(t, 300);
+}
+
+TEST(ValleyThreshold, SeparatesSkewedModes) {
+  // Realistic calibration sample: ~1/banks of pairs conflict.
+  const double t = valley_threshold(bimodal(1500, 40, 2));
+  EXPECT_GT(t, 185);
+  EXPECT_LT(t, 320);
+}
+
+TEST(ValleyThreshold, SurvivesContamination) {
+  rng r(3);
+  auto xs = bimodal(1400, 60, 3);
+  for (int i = 0; i < 30; ++i) {
+    xs.push_back(165 + r.uniform() * 400);  // one-sided heavy tail
+  }
+  const double t = valley_threshold(xs);
+  EXPECT_GT(t, 180);
+  EXPECT_LT(t, 330);
+}
+
+TEST(ValleyThreshold, UnimodalFallsBackGracefully) {
+  // No slow mode at all: any threshold above the mode is acceptable; the
+  // function must not crash or return garbage far outside the range.
+  rng r(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(r.gaussian(165, 3));
+  const double t = valley_threshold(xs);
+  EXPECT_GT(t, 100);
+  EXPECT_LT(t, 200);
+}
+
+TEST(OtsuThreshold, SeparatesModes) {
+  const double t = otsu_threshold(bimodal(800, 200, 5));
+  EXPECT_GT(t, 180);
+  EXPECT_LT(t, 330);
+}
+
+TEST(ThresholdProperty, ClassifiesBothModesAcrossSeeds) {
+  for (std::uint64_t seed = 10; seed < 30; ++seed) {
+    const auto xs = bimodal(1200, 80, seed);
+    const double t = valley_threshold(xs);
+    // Every fast sample below, every slow sample above.
+    std::size_t misclassified = 0;
+    for (double x : xs) {
+      const bool is_slow = x > 250;
+      if ((x > t) != is_slow) ++misclassified;
+    }
+    EXPECT_LE(misclassified, xs.size() / 100) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dramdig

@@ -1,0 +1,114 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace dramdig {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.below(1000), b.below(1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.below(1'000'000) == b.below(1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  rng r(6);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroRejected) {
+  rng r(7);
+  EXPECT_THROW((void)r.below(0), contract_violation);
+}
+
+TEST(Rng, BetweenInclusive) {
+  rng r(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  rng r(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  rng r(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, GaussianMoments) {
+  rng r(12);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.gaussian(100, 15);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 100, 1.0);
+  EXPECT_NEAR(var, 225, 20.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  rng a(13);
+  rng child = a.fork();
+  // The child stream should not mirror the parent.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.below(1'000'000) == child.below(1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsDeterministicGivenParentSeed) {
+  rng a(14), b(14);
+  rng ca = a.fork(), cb = b.fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ca.below(1000), cb.below(1000));
+  }
+}
+
+}  // namespace
+}  // namespace dramdig

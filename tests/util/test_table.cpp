@@ -1,0 +1,54 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/expect.h"
+
+namespace dramdig {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  text_table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| a | bb |"), std::string::npos);
+  EXPECT_NE(out.find("|---|----|"), std::string::npos);
+  EXPECT_NE(out.find("| 1 | 2  |"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAutoSizeToWidestCell) {
+  text_table t({"x"});
+  t.add_row({"wide-cell"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| x         |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  text_table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), contract_violation);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(text_table({}), contract_violation);
+}
+
+TEST(FmtDouble, FixedDecimals) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(FmtDuration, SecondsOnly) {
+  EXPECT_EQ(fmt_duration_s(12.34), "12.3s");
+}
+
+TEST(FmtDuration, MinutesAndSeconds) {
+  EXPECT_EQ(fmt_duration_s(69.0), "1m 09.0s");
+  EXPECT_EQ(fmt_duration_s(600.0), "10m 00.0s");
+}
+
+TEST(FmtDuration, NegativeMeansUnavailable) {
+  EXPECT_EQ(fmt_duration_s(-1.0), "n/a");
+}
+
+}  // namespace
+}  // namespace dramdig
