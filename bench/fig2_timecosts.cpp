@@ -2,12 +2,22 @@
 // mappings on 9 machine settings."
 //
 // Prints the two series (virtual seconds per machine) plus an ASCII bar
-// chart. Expected shape, per the paper: DRAMDig finishes within minutes on
-// every machine (their range 69 s – 17 min, average 7.8 min); DRAMA costs
-// from ~500 s to hours, and on the two noisy mobile units (No.3, No.7) it
-// runs ~2 hours without producing any result before being killed.
+// chart, and writes the full record — wall time, virtual-clock time and
+// access/measurement counts per tool per machine — to BENCH_fig2.json so
+// the perf trajectory is tracked across PRs. Expected shape, per the
+// paper: DRAMDig finishes within minutes on every machine (their range
+// 69 s – 17 min, average 7.8 min); DRAMA costs from ~500 s to hours, and
+// on the two noisy mobile units (No.3, No.7) it runs ~2 hours without
+// producing any result before being killed.
+//
+// Machine runs are independent, so they are fanned across worker threads
+// with a deterministic shard split and merged in machine order — output is
+// identical on any thread count. Flags: --machines=1,4 (subset for CI
+// smoke runs), --out=PATH (default BENCH_fig2.json).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -15,9 +25,13 @@
 #include "core/dramdig.h"
 #include "core/environment.h"
 #include "dram/presets.h"
+#include "util/json.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 namespace {
+
+using namespace dramdig;
 
 std::string bar(double seconds, double max_seconds, std::size_t width = 46) {
   const std::size_t n = static_cast<std::size_t>(
@@ -25,66 +39,152 @@ std::string bar(double seconds, double max_seconds, std::size_t width = 46) {
   return std::string(n, '#');
 }
 
+/// One tool's cost record on one machine.
+struct tool_cost {
+  double virtual_s = 0;
+  double wall_s = 0;
+  std::uint64_t measurements = 0;
+  std::uint64_t accesses = 0;
+  bool ok = false;
+};
+
+struct row {
+  std::string label;
+  tool_cost dramdig;
+  tool_cost drama;
+};
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+row run_machine(const dram::machine_spec& spec) {
+  row r;
+  r.label = spec.label();
+  {
+    core::environment env(spec, /*seed=*/2000 + spec.number);
+    core::dramdig_tool tool(env);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto report = tool.run();
+    r.dramdig.wall_s = wall_seconds_since(t0);
+    r.dramdig.virtual_s = report.total_seconds;
+    r.dramdig.measurements = report.total_measurements;
+    r.dramdig.accesses = env.mach().controller().access_count();
+    r.dramdig.ok = report.success && report.mapping &&
+                   report.mapping->equivalent_to(spec.mapping);
+  }
+  {
+    core::environment env(spec, /*seed=*/2000 + spec.number);
+    baselines::drama_tool tool(env);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto report = tool.run();
+    r.drama.wall_s = wall_seconds_since(t0);
+    r.drama.virtual_s = report.total_seconds;
+    r.drama.measurements = report.total_measurements;
+    r.drama.accesses = env.mach().controller().access_count();
+    r.drama.ok = report.completed;
+  }
+  return r;
+}
+
+void emit_json(const std::string& path, const std::vector<row>& rows) {
+  json_writer w;
+  w.begin_object();
+  w.key("bench").value("fig2_timecosts");
+  w.key("machines").begin_array();
+  for (const row& r : rows) {
+    w.begin_object();
+    w.key("label").value(r.label);
+    for (const auto& [name, cost] :
+         {std::pair<const char*, const tool_cost&>{"dramdig", r.dramdig},
+          {"drama", r.drama}}) {
+      w.key(name).begin_object();
+      w.key("ok").value(cost.ok);
+      w.key("virtual_seconds").value(cost.virtual_s);
+      w.key("wall_seconds").value(cost.wall_s);
+      w.key("measurement_count").value(cost.measurements);
+      w.key("access_count").value(cost.accesses);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  write_file(path, w.str());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dramdig;
+  std::string out = "BENCH_fig2.json";
+  std::vector<int> wanted;  // empty = all paper machines
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+    if (std::strncmp(argv[i], "--machines=", 11) == 0) {
+      for (const char* p = argv[i] + 11; *p != '\0'; ++p) {
+        if (*p >= '1' && *p <= '9') wanted.push_back(*p - '0');
+      }
+      if (wanted.empty()) {
+        std::fprintf(stderr,
+                     "error: --machines needs digits 1-9 (e.g. "
+                     "--machines=14 for No.1 and No.4), got '%s'\n",
+                     argv[i] + 11);
+        return 2;
+      }
+    }
+  }
+
   std::printf("== Fig. 2: time costs to uncover DRAM mappings ==\n\n");
 
-  struct row {
-    std::string label;
-    double dramdig_s = 0;
-    bool dramdig_ok = false;
-    double drama_s = 0;
-    bool drama_ok = false;
-  };
-  std::vector<row> rows;
-
+  std::vector<const dram::machine_spec*> specs;
   for (const dram::machine_spec& spec : dram::paper_machines()) {
-    row r;
-    r.label = spec.label();
-    {
-      core::environment env(spec, /*seed=*/2000 + spec.number);
-      core::dramdig_tool tool(env);
-      const auto report = tool.run();
-      r.dramdig_s = report.total_seconds;
-      r.dramdig_ok = report.success && report.mapping &&
-                     report.mapping->equivalent_to(spec.mapping);
+    if (wanted.empty() ||
+        std::find(wanted.begin(), wanted.end(), spec.number) != wanted.end()) {
+      specs.push_back(&spec);
     }
-    {
-      core::environment env(spec, /*seed=*/2000 + spec.number);
-      baselines::drama_tool tool(env);
-      const auto report = tool.run();
-      r.drama_s = report.total_seconds;
-      r.drama_ok = report.completed;
-    }
-    rows.push_back(r);
-    std::fflush(stdout);
   }
+
+  // Fan machine runs across threads: shard split and merge order are both
+  // functions of the machine index alone, so the table and the JSON are
+  // reproducible on any host.
+  std::vector<row> rows(specs.size());
+  parallel_for_shards(specs.size(), default_shard_count(),
+                      [&](const shard& s) {
+                        for (std::size_t i = s.begin; i < s.end; ++i) {
+                          rows[i] = run_machine(*specs[i]);
+                        }
+                      });
 
   text_table table({"Machine", "DRAMDig", "DRAMA", "DRAMA outcome"});
   double dig_sum = 0, max_s = 1;
   for (const row& r : rows) {
-    dig_sum += r.dramdig_s;
-    max_s = std::max({max_s, r.dramdig_s, r.drama_s});
-    table.add_row({r.label, fmt_duration_s(r.dramdig_s),
-                   fmt_duration_s(r.drama_s),
-                   r.drama_ok ? "completed" : "no result (killed)"});
+    dig_sum += r.dramdig.virtual_s;
+    max_s = std::max({max_s, r.dramdig.virtual_s, r.drama.virtual_s});
+    table.add_row({r.label, fmt_duration_s(r.dramdig.virtual_s),
+                   fmt_duration_s(r.drama.virtual_s),
+                   r.drama.ok ? "completed" : "no result (killed)"});
   }
   std::printf("%s\n", table.render().c_str());
 
   std::printf("Time Costs (virtual seconds)\n");
   for (const row& r : rows) {
-    std::printf("%-5s DRAMDig %7.0fs |%s\n", r.label.c_str(), r.dramdig_s,
-                bar(r.dramdig_s, max_s).c_str());
-    std::printf("      DRAMA   %7.0fs |%s\n", r.drama_s,
-                bar(r.drama_s, max_s).c_str());
+    std::printf("%-5s DRAMDig %7.0fs |%s\n", r.label.c_str(),
+                r.dramdig.virtual_s, bar(r.dramdig.virtual_s, max_s).c_str());
+    std::printf("      DRAMA   %7.0fs |%s\n", r.drama.virtual_s,
+                bar(r.drama.virtual_s, max_s).c_str());
   }
-  std::printf("\nDRAMDig average: %s (paper: 7.8 minutes)\n",
-              fmt_duration_s(dig_sum / static_cast<double>(rows.size())).c_str());
+  if (!rows.empty()) {
+    std::printf("\nDRAMDig average: %s (paper: 7.8 minutes)\n",
+                fmt_duration_s(dig_sum / static_cast<double>(rows.size()))
+                    .c_str());
+  }
   std::printf("Shape checks: DRAMDig completes everywhere within minutes; "
               "DRAMA needs %sx more time on average and produces nothing on "
               "the noisy No.3/No.7 units.\n",
               "several");
+  emit_json(out, rows);
+  std::printf("Machine-readable record written to %s\n", out.c_str());
   return 0;
 }

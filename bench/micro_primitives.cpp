@@ -3,16 +3,31 @@
 // channel, Algorithm 1 selection, and the XOR-mask search inner loop.
 // These measure *host* cost, bounding how long the table/figure harnesses
 // take to run — the virtual-time numbers in Fig. 2 are independent.
+//
+// On top of the google-benchmark suite, main() runs two tracked
+// comparisons and emits them as machine-readable BENCH_micro.json:
+//   * function detection on a 16-bank-bit synthetic config — the GF(2)
+//     null-space path against the legacy 2^16 mask enumeration, and
+//   * the batched measurement engine against a scalar measure_pair loop.
+// Flags: --smoke (skip the google-benchmark suite, shrink the synthetic
+// config for CI), --out=PATH (default BENCH_micro.json).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
 
 #include "core/address_selection.h"
 #include "core/dramdig.h"
 #include "core/environment.h"
+#include "core/function_detect.h"
 #include "dram/presets.h"
 #include "sim/machine.h"
 #include "sim/profiles.h"
+#include "util/bitops.h"
 #include "util/combinatorics.h"
 #include "util/gf2.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace {
@@ -74,6 +89,23 @@ void BM_MeasurePair(benchmark::State& state) {
 }
 BENCHMARK(BM_MeasurePair);
 
+void BM_MeasurePairsBatch4k(benchmark::State& state) {
+  // Host throughput of the batched interface servicing 4096 pairs a call.
+  const auto spec = dram::machine_by_number(1);
+  sim::machine machine(spec, 3, sim::timing_profile_for(spec));
+  rng r(9);
+  std::vector<sim::addr_pair> pairs;
+  for (int i = 0; i < 4096; ++i) {
+    pairs.emplace_back(r.below(spec.memory_bytes) & ~63ull,
+                       r.below(spec.memory_bytes) & ~63ull);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.controller().measure_pairs(pairs, 1000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_MeasurePairsBatch4k)->Unit(benchmark::kMillisecond);
+
 void BM_HammerWindow(benchmark::State& state) {
   const auto spec = dram::machine_by_number(2);
   sim::machine machine(spec, 4, sim::timing_profile_for(spec));
@@ -99,8 +131,8 @@ void BM_AddressSelection(benchmark::State& state) {
 BENCHMARK(BM_AddressSelection)->Unit(benchmark::kMillisecond);
 
 void BM_XorMaskSweep(benchmark::State& state) {
-  // The Algorithm 3 inner loop: all masks over 14 bank bits against one
-  // pile of 256 addresses.
+  // The legacy Algorithm 3 inner loop: all masks over 14 bank bits against
+  // one pile of 256 addresses.
   const std::vector<unsigned> bits{7,  8,  9,  12, 13, 14, 15,
                                    16, 17, 18, 19, 20, 21, 22};
   rng r(6);
@@ -132,4 +164,155 @@ void BM_EndToEndDramDigNo4(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndDramDigNo4)->Unit(benchmark::kMillisecond);
 
+// --------------------------------------------------------------------------
+// Tracked comparisons emitted to BENCH_micro.json.
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Synthetic config: `width` bank bits feeding log2(banks) random
+/// independent functions; piles enumerate every bank-bit combination,
+/// grouped by true bank — the shape partition hands to Algorithm 3, at a
+/// size (16 bank bits on the default run) where the 2^B enumeration hurts.
+struct synthetic_piles {
+  std::vector<unsigned> bank_bits;
+  gf2::matrix functions;
+  std::vector<std::vector<std::uint64_t>> piles;
+  unsigned bank_count = 0;
+};
+
+synthetic_piles make_synthetic(unsigned width, unsigned function_count,
+                               std::uint64_t seed) {
+  synthetic_piles out;
+  for (unsigned i = 0; i < width; ++i) out.bank_bits.push_back(6 + i);
+  const std::uint64_t support = mask_of_bits(out.bank_bits);
+  rng r(seed);
+  while (out.functions.size() < function_count) {
+    const std::uint64_t f = scatter_bits(
+        1 + r.below((std::uint64_t{1} << width) - 1), out.bank_bits);
+    out.functions.push_back(f & support);
+    if (gf2::rank(out.functions) != out.functions.size()) {
+      out.functions.pop_back();
+    }
+  }
+  out.bank_count = 1u << function_count;
+  out.piles.resize(out.bank_count);
+  for (std::uint64_t c = 0; c < (std::uint64_t{1} << width); ++c) {
+    const std::uint64_t pa = scatter_bits(c, out.bank_bits);
+    std::uint64_t id = 0;
+    for (std::size_t i = 0; i < out.functions.size(); ++i) {
+      id |= static_cast<std::uint64_t>(parity(pa, out.functions[i])) << i;
+    }
+    out.piles[id].push_back(pa);
+  }
+  return out;
+}
+
+void emit_bench_json(const std::string& path, bool smoke) {
+  // 16 bank bits / 8 functions on the full run: the channel+rank+bank-group
+  // shape of a large dual-channel DDR4 config, where the 2^16 enumeration
+  // pays 255 surviving masks against every pile member.
+  const unsigned width = smoke ? 12 : 16;
+  const unsigned functions = smoke ? 6 : 8;
+  const synthetic_piles s = make_synthetic(width, functions, 42);
+
+  core::function_config nullspace_cfg{};
+  core::function_config oracle_cfg{};
+  oracle_cfg.use_nullspace = false;
+
+  sim::virtual_clock nullspace_clock;
+  auto t0 = std::chrono::steady_clock::now();
+  const auto fast = core::detect_functions(s.piles, s.bank_bits, s.bank_count,
+                                           nullspace_clock, nullspace_cfg);
+  const double nullspace_wall_s = wall_seconds_since(t0);
+
+  sim::virtual_clock oracle_clock;
+  t0 = std::chrono::steady_clock::now();
+  const auto slow = core::detect_functions(s.piles, s.bank_bits, s.bank_count,
+                                           oracle_clock, oracle_cfg);
+  const double oracle_wall_s = wall_seconds_since(t0);
+
+  const bool agree = fast.success && slow.success &&
+                     fast.functions == slow.functions &&
+                     gf2::same_span(fast.functions, s.functions);
+
+  // Batched engine vs scalar loop, identical seeds: same simulated result,
+  // host wall time compared.
+  const auto spec = dram::machine_by_number(1);
+  const std::size_t pair_count = smoke ? 20000 : 100000;
+  rng addr(7);
+  std::vector<sim::addr_pair> pairs;
+  pairs.reserve(pair_count);
+  for (std::size_t i = 0; i < pair_count; ++i) {
+    pairs.emplace_back(addr.below(spec.memory_bytes) & ~63ull,
+                       addr.below(spec.memory_bytes) & ~63ull);
+  }
+  sim::machine scalar_machine(spec, 11, sim::timing_profile_for(spec));
+  t0 = std::chrono::steady_clock::now();
+  for (const auto& [a, b] : pairs) {
+    benchmark::DoNotOptimize(scalar_machine.controller().measure_pair(a, b, 1000));
+  }
+  const double scalar_wall_s = wall_seconds_since(t0);
+
+  sim::machine batch_machine(spec, 11, sim::timing_profile_for(spec));
+  t0 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(batch_machine.controller().measure_pairs(pairs, 1000));
+  const double batch_wall_s = wall_seconds_since(t0);
+
+  json_writer w;
+  w.begin_object();
+  w.key("bench").value("micro_primitives");
+  w.key("smoke").value(smoke);
+  w.key("function_detect_synthetic").begin_object();
+  w.key("bank_bit_count").value(std::uint64_t{width});
+  w.key("function_count").value(std::uint64_t{functions});
+  w.key("bank_count").value(std::uint64_t{s.bank_count});
+  w.key("pile_count").value(s.piles.size());
+  w.key("enumeration_wall_s").value(oracle_wall_s);
+  w.key("nullspace_wall_s").value(nullspace_wall_s);
+  w.key("wall_speedup").value(oracle_wall_s /
+                              std::max(nullspace_wall_s, 1e-9));
+  w.key("enumeration_virtual_ns").value(oracle_clock.now_ns());
+  w.key("nullspace_virtual_ns").value(nullspace_clock.now_ns());
+  w.key("identical_functions").value(agree);
+  w.end_object();
+  w.key("batched_measurement").begin_object();
+  w.key("pair_count").value(pair_count);
+  w.key("scalar_wall_s").value(scalar_wall_s);
+  w.key("batch_wall_s").value(batch_wall_s);
+  w.key("wall_speedup").value(scalar_wall_s / std::max(batch_wall_s, 1e-9));
+  w.key("virtual_ns").value(batch_machine.clock().now_ns());
+  w.key("access_count").value(batch_machine.controller().access_count());
+  w.key("measurement_count")
+      .value(batch_machine.controller().measurement_count());
+  w.end_object();
+  w.end_object();
+  write_file(path, w.str());
+
+  std::printf("\n== tracked comparisons (written to %s) ==\n", path.c_str());
+  std::printf("function detect, %u bank bits: enumeration %.3fs, nullspace "
+              "%.4fs (%.0fx), identical functions: %s\n",
+              width, oracle_wall_s, nullspace_wall_s,
+              oracle_wall_s / std::max(nullspace_wall_s, 1e-9),
+              agree ? "yes" : "NO");
+  std::printf("batched engine, %zu pairs: scalar %.3fs, batch %.3fs (%.1fx)\n",
+              pair_count, scalar_wall_s, batch_wall_s,
+              scalar_wall_s / std::max(batch_wall_s, 1e-9));
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_micro.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  emit_bench_json(out, smoke);
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "core/dramdig.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "core/probe_util.h"
 #include "sysinfo/system_info.h"
@@ -49,6 +50,21 @@ dramdig_report dramdig_tool::run() {
   const auto finish = [&]() {
     report.total_seconds = mc.clock().seconds_since(t_begin);
     report.total_measurements = mc.measurement_count() - m_begin;
+    // One-line phase breakdown (the Fig. 2 decomposition) so a perf
+    // regression in any stage is visible without the bench harness.
+    const auto phase = [](const char* name, const phase_stats& s) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%s %.1fs/%llum", name, s.seconds,
+                    static_cast<unsigned long long>(s.measurements));
+      return std::string(buf);
+    };
+    log_info("dramdig phase times (virtual s / measurements): " +
+             phase("calibration", report.calibration) + ", " +
+             phase("coarse", report.coarse) + ", " +
+             phase("selection", report.selection) + ", " +
+             phase("partition", report.partition) + ", " +
+             phase("functions", report.functions) + ", " +
+             phase("fine", report.fine));
   };
 
   // --- Domain knowledge ---------------------------------------------------

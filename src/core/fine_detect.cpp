@@ -35,15 +35,19 @@ std::optional<bool> vote_delta(timing::channel& channel,
                                const os::mapping_region& buffer,
                                std::uint64_t delta, unsigned votes,
                                unsigned attempts, rng& r) {
-  unsigned high = 0, cast = 0;
+  // Pair picking only consults the pagemap, so all pairs can be collected
+  // up front and the strict measurements serviced as one controller batch.
+  std::vector<sim::addr_pair> pairs;
+  pairs.reserve(votes);
   for (unsigned v = 0; v < votes; ++v) {
     const auto pair = pick_pair_with_delta(buffer, delta, r, attempts);
-    if (!pair) continue;
-    ++cast;
-    if (channel.is_sbdr_strict(pair->first, pair->second)) ++high;
+    if (pair) pairs.push_back(*pair);
   }
-  if (cast == 0) return std::nullopt;
-  return high * 2 > cast;
+  if (pairs.empty()) return std::nullopt;
+  const std::vector<char> verdicts = channel.is_sbdr_strict_batch(pairs);
+  unsigned high = 0;
+  for (char v : verdicts) high += v != 0;
+  return high * 2 > pairs.size();
 }
 
 }  // namespace

@@ -52,6 +52,53 @@ bool numbers_piles(const std::vector<std::uint64_t>& funcs,
 
 }  // namespace
 
+namespace {
+
+/// The null-space candidate search. Every pile member's XOR difference to
+/// the pile's pivot, restricted to the bank-bit support, is one row of a
+/// difference matrix D; a mask m (subset of the support) is constant on
+/// every pile iff parity(d, m) == 0 for every row d — i.e. the candidate
+/// set is exactly the null space of D. Reducing D to a row-echelon basis
+/// costs O(pool * |bank_bits|) XOR operations; expanding the null space
+/// (dimension ~log2(#banks)) back to the full candidate set is 2^dim - 1
+/// Gray-code XORs. `ops` counts row operations for virtual-time charging.
+std::vector<std::uint64_t> nullspace_candidates(
+    const std::vector<std::vector<std::uint64_t>>& piles,
+    std::uint64_t support, std::uint64_t& ops) {
+  // Incrementally reduced difference basis: rows keep distinct leading
+  // pivots, so each new difference reduces in at most rank(D) XORs.
+  std::vector<std::uint64_t> diff_basis;
+  for (const auto& pile : piles) {
+    const std::uint64_t base = pile.front();
+    for (std::size_t i = 1; i < pile.size(); ++i) {
+      std::uint64_t d = (pile[i] ^ base) & support;
+      for (std::uint64_t b : diff_basis) {
+        ++ops;
+        const int pivot = 63 - std::countl_zero(b);
+        if (pivot >= 0 && ((d >> pivot) & 1u)) d ^= b;
+      }
+      if (d != 0) diff_basis.push_back(d);
+    }
+  }
+  const gf2::matrix kernel = gf2::nullspace(diff_basis, support);
+  if (kernel.empty()) return {};
+  if (kernel.size() <= 20) {
+    // Exact expansion: the same candidate set (and thus the same minimal
+    // basis) the mask enumeration would have produced.
+    std::vector<std::uint64_t> candidates = gf2::enumerate_span(kernel);
+    ops += candidates.size();
+    return candidates;
+  }
+  // Degenerate piles (e.g. a single pile over many bank bits) can leave a
+  // huge null space; expanding it would reintroduce the exponential cost.
+  // Detection is doomed to fail in that regime anyway, so return the basis
+  // itself and let the rank/numbering checks reject it.
+  ops += kernel.size();
+  return kernel;
+}
+
+}  // namespace
+
 function_outcome detect_functions(
     const std::vector<std::vector<std::uint64_t>>& piles,
     const std::vector<unsigned>& bank_bits, unsigned bank_count,
@@ -62,18 +109,22 @@ function_outcome detect_functions(
   const unsigned want = log2_exact(bank_count);
   std::uint64_t checks = 0;
 
-  // gen_xor_masks(B): every combination of bank bits, 1 bit .. all bits,
-  // kept when constant on every pile.
   std::vector<std::uint64_t> candidates;
-  for_each_bit_combination(
-      bank_bits, 1, static_cast<unsigned>(bank_bits.size()),
-      [&](std::uint64_t mask) {
-        for (const auto& pile : piles) {
-          if (!constant_on_pile(mask, pile, checks)) return true;  // next mask
-        }
-        candidates.push_back(mask);
-        return true;
-      });
+  if (config.use_nullspace) {
+    candidates = nullspace_candidates(piles, mask_of_bits(bank_bits), checks);
+  } else {
+    // Legacy oracle — gen_xor_masks(B): every combination of bank bits,
+    // 1 bit .. all bits, kept when constant on every pile.
+    for_each_bit_combination(
+        bank_bits, 1, static_cast<unsigned>(bank_bits.size()),
+        [&](std::uint64_t mask) {
+          for (const auto& pile : piles) {
+            if (!constant_on_pile(mask, pile, checks)) return true;  // next
+          }
+          candidates.push_back(mask);
+          return true;
+        });
+  }
   out.raw_candidates = candidates.size();
   clock.advance_ns(static_cast<std::uint64_t>(
       static_cast<double>(checks) * config.cpu_ns_per_check));

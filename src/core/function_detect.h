@@ -18,9 +18,17 @@
 namespace dramdig::core {
 
 struct function_config {
-  /// Virtual CPU time charged per parity evaluation; keeps Fig. 2 honest
-  /// about the (small) software cost of the search.
+  /// Virtual CPU time charged per parity evaluation / GF(2) row operation;
+  /// keeps Fig. 2 honest about the software cost of the search.
   double cpu_ns_per_check = 1.0;
+  /// Default path: reduce each pile's XOR differences (restricted to the
+  /// bank-bit support) to a GF(2) row-echelon basis; a mask is constant on
+  /// a pile iff it annihilates that difference space, so the complete
+  /// candidate set is the null space of the stacked difference matrix —
+  /// O(pool * |bank_bits|) row operations instead of 2^|bank_bits| mask
+  /// enumerations. Setting this false selects the legacy enumeration,
+  /// retained as a differential-test oracle.
+  bool use_nullspace = true;
 };
 
 struct function_outcome {

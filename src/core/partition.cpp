@@ -26,6 +26,19 @@ partition_outcome partition_pool(timing::channel& channel,
                                     ? config.max_pivot_attempts
                                     : 4 * bank_count + 32;
 
+  // Scratch buffers reused across pivot attempts: one reservation per call
+  // keeps the O(pool * banks) scan allocation-free in steady state.
+  std::vector<std::uint64_t> partners;
+  std::vector<std::size_t> partner_idx;
+  std::vector<std::size_t> candidates;
+  std::vector<std::size_t> members;
+  std::vector<sim::addr_pair> verify_pairs;
+  partners.reserve(pool.size());
+  partner_idx.reserve(pool.size());
+  candidates.reserve(pool.size());
+  members.reserve(pool.size());
+  verify_pairs.reserve(pool.size());
+
   unsigned attempts = 0;
   while (pool.size() > stop_at) {
     if (attempts++ >= max_attempts) {
@@ -36,24 +49,34 @@ partition_outcome partition_pool(timing::channel& channel,
     const std::size_t pivot_idx = r.below(pool.size());
     const std::uint64_t pivot = pool[pivot_idx];
 
-    // Fast scan: one sample per pair.
-    std::vector<std::size_t> candidates;
+    // Fast scan: one sample per pair, serviced by the controller as a
+    // single batch (same verdicts and noise consumption as a scalar loop).
+    partners.clear();
+    partner_idx.clear();
+    candidates.clear();
+    members.clear();
     for (std::size_t i = 0; i < pool.size(); ++i) {
       if (i == pivot_idx) continue;
-      if (channel.is_sbdr_fast(pivot, pool[i])) candidates.push_back(i);
+      partners.push_back(pool[i]);
+      partner_idx.push_back(i);
+    }
+    const std::vector<char> fast = channel.is_sbdr_fast_batch(pivot, partners);
+    for (std::size_t j = 0; j < fast.size(); ++j) {
+      if (fast[j]) candidates.push_back(partner_idx[j]);
     }
     // Verification pass: positives re-measured with the min filter so a
     // contaminated sample — or a whole background-load burst — cannot
     // plant a wrong-bank address in the pile. A single polluted pile
     // would erase a true function from Algorithm 3's intersection.
-    std::vector<std::size_t> members;
     if (config.verify_positives) {
-      members.reserve(candidates.size());
-      for (std::size_t i : candidates) {
-        if (channel.is_sbdr_strict(pivot, pool[i])) members.push_back(i);
+      verify_pairs.clear();
+      for (std::size_t i : candidates) verify_pairs.emplace_back(pivot, pool[i]);
+      const std::vector<char> strict = channel.is_sbdr_strict_batch(verify_pairs);
+      for (std::size_t j = 0; j < strict.size(); ++j) {
+        if (strict[j]) members.push_back(candidates[j]);
       }
     } else {
-      members = std::move(candidates);
+      members.swap(candidates);
     }
 
     // Pile size counts the pivot: the pile *is* a bank-sized class, and on

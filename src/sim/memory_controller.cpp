@@ -4,14 +4,23 @@
 #include <cmath>
 
 #include "util/expect.h"
+#include "util/parallel.h"
 
 namespace dramdig::sim {
+
+namespace {
+
+/// Batches below this size are decoded inline: thread spin-up costs more
+/// than the decode work it would spread.
+constexpr std::size_t kParallelDecodeThreshold = 4096;
+
+}  // namespace
 
 memory_controller::memory_controller(const dram::address_mapping& truth,
                                      timing_model timing, virtual_clock& clock,
                                      rng noise_rng)
     : truth_(truth), timing_(timing), clock_(clock), rng_(noise_rng),
-      burst_rng_(rng_.fork()) {
+      open_rows_(truth.bank_count()), burst_rng_(rng_.fork()) {
   DRAMDIG_EXPECTS(truth_.is_bijective());
   // Schedule the first background-load burst.
   burst_start_ns_ = static_cast<std::uint64_t>(
@@ -55,15 +64,15 @@ double memory_controller::access(std::uint64_t phys) {
   const std::uint64_t row = truth_.row_of(phys);
 
   double base;
-  const auto it = open_rows_.find(bank);
-  if (it == open_rows_.end()) {
+  open_row& slot = open_rows_[bank];
+  if (!slot.open) {
     base = timing_.row_closed_ns;
-    open_rows_.emplace(bank, row);
-  } else if (it->second == row) {
+    slot = {row, true};
+  } else if (slot.row == row) {
     base = timing_.row_hit_ns;
   } else {
     base = timing_.row_conflict_ns;
-    it->second = row;
+    slot.row = row;
   }
   const double latency = std::max(
       1.0, base + rng_.gaussian(0.0, timing_.access_noise_sigma_ns));
@@ -75,30 +84,33 @@ double memory_controller::access(std::uint64_t phys) {
 
 double memory_controller::ideal_pair_latency_ns(std::uint64_t p1,
                                                 std::uint64_t p2) const {
-  const std::uint64_t b1 = truth_.bank_of(p1);
-  const std::uint64_t b2 = truth_.bank_of(p2);
-  if (b1 != b2) {
-    // Each bank keeps its row open; alternating accesses all hit.
-    return timing_.row_hit_ns;
-  }
-  if (truth_.row_of(p1) == truth_.row_of(p2)) {
-    return timing_.row_hit_ns;  // same row buffer serves both
-  }
-  // Same bank, different row: every access evicts the other's row.
-  return timing_.row_conflict_ns;
+  return decode_pair(p1, p2).ideal_ns;
 }
 
-pair_measurement memory_controller::measure_pair(std::uint64_t p1,
-                                                 std::uint64_t p2,
-                                                 unsigned rounds) {
-  DRAMDIG_EXPECTS(rounds > 0);
+memory_controller::decoded_pair memory_controller::decode_pair(
+    std::uint64_t p1, std::uint64_t p2) const {
   DRAMDIG_EXPECTS(p1 < truth_.memory_bytes() && p2 < truth_.memory_bytes());
-  const double ideal = ideal_pair_latency_ns(p1, p2);
+  decoded_pair d;
+  d.bank1 = truth_.bank_of(p1);
+  d.row1 = truth_.row_of(p1);
+  d.bank2 = truth_.bank_of(p2);
+  d.row2 = truth_.row_of(p2);
+  // Different banks each keep their row open (all hits), as does a shared
+  // row buffer; same bank + different row pays a conflict every access.
+  if (d.bank1 != d.bank2 || d.row1 == d.row2) {
+    d.ideal_ns = timing_.row_hit_ns;
+  } else {
+    d.ideal_ns = timing_.row_conflict_ns;
+  }
+  return d;
+}
 
+pair_measurement memory_controller::finish_measurement(const decoded_pair& d,
+                                                       unsigned rounds) {
   // Mean of 2*rounds iid Gaussian samples around the steady state.
   const double sigma_mean =
       timing_.access_noise_sigma_ns / std::sqrt(2.0 * rounds);
-  double observed = ideal + rng_.gaussian(0.0, sigma_mean);
+  double observed = d.ideal_ns + rng_.gaussian(0.0, sigma_mean);
 
   // Heavy-tail contamination: a scheduler preemption or refresh burst
   // inflates part of the loop; modelled as a uniform positive shift. The
@@ -111,7 +123,7 @@ pair_measurement memory_controller::measure_pair(std::uint64_t p1,
 
   // Charge the virtual clock for the whole measurement loop.
   const double per_access =
-      ideal + timing_.clflush_ns + timing_.loop_overhead_ns;
+      d.ideal_ns + timing_.clflush_ns + timing_.loop_overhead_ns;
   clock_.advance_ns(static_cast<std::uint64_t>(
       2.0 * static_cast<double>(rounds) * per_access));
   access_count_ += 2ull * rounds;
@@ -119,10 +131,55 @@ pair_measurement memory_controller::measure_pair(std::uint64_t p1,
 
   // The row-buffer state after an alternating loop: both banks hold the
   // last-touched rows.
-  open_rows_[truth_.bank_of(p1)] = truth_.row_of(p1);
-  open_rows_[truth_.bank_of(p2)] = truth_.row_of(p2);
+  open_rows_[d.bank1] = {d.row1, true};
+  open_rows_[d.bank2] = {d.row2, true};
 
   return {std::max(1.0, observed), contaminated};
+}
+
+pair_measurement memory_controller::measure_pair(std::uint64_t p1,
+                                                 std::uint64_t p2,
+                                                 unsigned rounds) {
+  DRAMDIG_EXPECTS(rounds > 0);
+  return finish_measurement(decode_pair(p1, p2), rounds);
+}
+
+std::vector<pair_measurement> memory_controller::measure_pairs(
+    std::span<const addr_pair> pairs, unsigned rounds) {
+  DRAMDIG_EXPECTS(rounds > 0);
+  // Whole-batch validation up front: a bad address anywhere rejects the
+  // batch before any noise is drawn, matching the staged path where all
+  // decodes precede all measurements.
+  for (const auto& [p1, p2] : pairs) {
+    DRAMDIG_EXPECTS(p1 < truth_.memory_bytes() && p2 < truth_.memory_bytes());
+  }
+  std::vector<pair_measurement> results(pairs.size());
+  const unsigned shards =
+      pairs.size() >= kParallelDecodeThreshold ? default_shard_count() : 1;
+  if (shards == 1) {
+    // Single shard: fuse decode and finish per pair — no intermediate
+    // array, so the one-thread batch costs exactly the scalar loop.
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      results[i] =
+          finish_measurement(decode_pair(pairs[i].first, pairs[i].second),
+                             rounds);
+    }
+    return results;
+  }
+  // Multi-shard: the pure decodes fan out across workers, then the
+  // stochastic tail replays sequentially in submission order. Decode is a
+  // pure function of the address, so fused and staged paths agree bit for
+  // bit.
+  std::vector<decoded_pair> decoded(pairs.size());
+  parallel_for_shards(pairs.size(), shards, [&](const shard& s) {
+    for (std::size_t i = s.begin; i < s.end; ++i) {
+      decoded[i] = decode_pair(pairs[i].first, pairs[i].second);
+    }
+  });
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    results[i] = finish_measurement(decoded[i], rounds);
+  }
+  return results;
 }
 
 }  // namespace dramdig::sim

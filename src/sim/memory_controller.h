@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "dram/mapping.h"
 #include "sim/timing_model.h"
@@ -20,6 +22,9 @@ struct pair_measurement {
   double mean_access_ns = 0.0;  ///< average per-access latency observed
   bool contaminated = false;    ///< a heavy-tail event landed in this sample
 };
+
+/// A (p1, p2) physical-address pair submitted to the batch interface.
+using addr_pair = std::pair<std::uint64_t, std::uint64_t>;
 
 class memory_controller {
  public:
@@ -38,6 +43,16 @@ class memory_controller {
   [[nodiscard]] pair_measurement measure_pair(std::uint64_t p1,
                                               std::uint64_t p2,
                                               unsigned rounds);
+
+  /// Service a whole batch of pair measurements in one pass. The address
+  /// decodes (bank/row extraction — the host-side hot cost) are sharded
+  /// across worker threads; the stochastic part (noise draws, burst
+  /// schedule, clock charging, row-buffer updates) then replays
+  /// sequentially in submission order, so the returned vector is
+  /// bit-identical to calling measure_pair once per element — on any
+  /// thread count.
+  [[nodiscard]] std::vector<pair_measurement> measure_pairs(
+      std::span<const addr_pair> pairs, unsigned rounds);
 
   /// Steady-state noiseless per-access latency for an alternating pair —
   /// used by tests to assert the channel's ground truth.
@@ -65,11 +80,34 @@ class memory_controller {
   [[nodiscard]] bool in_burst() const;
 
  private:
+  /// Decoded DRAM coordinates of one pair, produced by the (parallel)
+  /// decode phase and consumed by the sequential noise phase.
+  struct decoded_pair {
+    std::uint64_t bank1 = 0, row1 = 0;
+    std::uint64_t bank2 = 0, row2 = 0;
+    double ideal_ns = 0.0;
+  };
+
+  /// Per-bank row-buffer entry; `open` distinguishes a precharged bank
+  /// from one holding row 0.
+  struct open_row {
+    std::uint64_t row = 0;
+    bool open = false;
+  };
+
+  [[nodiscard]] decoded_pair decode_pair(std::uint64_t p1,
+                                         std::uint64_t p2) const;
+
+  /// The stochastic tail of one measurement: noise draws, clock charge,
+  /// counters and row-buffer update. Must run in submission order.
+  [[nodiscard]] pair_measurement finish_measurement(const decoded_pair& d,
+                                                    unsigned rounds);
+
   dram::address_mapping truth_;
   timing_model timing_;
   virtual_clock& clock_;
   rng rng_;
-  std::unordered_map<std::uint64_t, std::uint64_t> open_rows_;
+  std::vector<open_row> open_rows_;  ///< flat table indexed by flat bank id
   std::uint64_t access_count_ = 0;
   std::uint64_t measurement_count_ = 0;
 

@@ -76,15 +76,54 @@ bool channel::is_sbdr_fast(std::uint64_t p1, std::uint64_t p2) {
 }
 
 bool channel::is_sbdr_strict(std::uint64_t p1, std::uint64_t p2) {
-  DRAMDIG_EXPECTS(calibrated());
-  double lowest = 1e300;
-  for (unsigned i = 0; i < config_.samples_per_latency + 2; ++i) {
-    lowest = std::min(
-        lowest,
-        controller_.measure_pair(p1, p2, config_.rounds_per_measurement)
-            .mean_access_ns);
+  const sim::addr_pair pair{p1, p2};
+  return is_sbdr_strict_batch({&pair, 1}).front() != 0;
+}
+
+std::vector<double> channel::measure_batch(
+    std::span<const sim::addr_pair> pairs) {
+  const auto measurements =
+      controller_.measure_pairs(pairs, config_.rounds_per_measurement);
+  std::vector<double> out(measurements.size());
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    out[i] = measurements[i].mean_access_ns;
   }
-  return lowest > threshold_ns_;
+  return out;
+}
+
+std::vector<char> channel::is_sbdr_fast_batch(
+    std::uint64_t pivot, std::span<const std::uint64_t> partners) {
+  DRAMDIG_EXPECTS(calibrated());
+  std::vector<sim::addr_pair> pairs;
+  pairs.reserve(partners.size());
+  for (std::uint64_t p : partners) pairs.emplace_back(pivot, p);
+  const auto latencies = measure_batch(pairs);
+  std::vector<char> out(latencies.size());
+  for (std::size_t i = 0; i < latencies.size(); ++i) {
+    out[i] = latencies[i] > threshold_ns_ ? 1 : 0;
+  }
+  return out;
+}
+
+std::vector<char> channel::is_sbdr_strict_batch(
+    std::span<const sim::addr_pair> pairs) {
+  DRAMDIG_EXPECTS(calibrated());
+  const unsigned per_pair = config_.samples_per_latency + 2;
+  std::vector<sim::addr_pair> expanded;
+  expanded.reserve(pairs.size() * per_pair);
+  for (const sim::addr_pair& p : pairs) {
+    for (unsigned i = 0; i < per_pair; ++i) expanded.push_back(p);
+  }
+  const auto latencies = measure_batch(expanded);
+  std::vector<char> out(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    double lowest = 1e300;
+    for (unsigned k = 0; k < per_pair; ++k) {
+      lowest = std::min(lowest, latencies[i * per_pair + k]);
+    }
+    out[i] = lowest > threshold_ns_ ? 1 : 0;
+  }
+  return out;
 }
 
 }  // namespace dramdig::timing

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "sim/memory_controller.h"
@@ -52,6 +54,26 @@ class channel {
   /// single false positive would corrupt the output (fine-grained
   /// shared-bit acceptance).
   [[nodiscard]] bool is_sbdr_strict(std::uint64_t p1, std::uint64_t p2);
+
+  /// Single-sample mean latencies for a whole batch of pairs, serviced by
+  /// the controller in one pass. Element i equals what a scalar
+  /// measure_pair on pairs[i] would have returned at that point in the
+  /// measurement sequence.
+  [[nodiscard]] std::vector<double> measure_batch(
+      std::span<const sim::addr_pair> pairs);
+
+  /// Batched fast predicate: one single-sample verdict per partner,
+  /// measured against the shared pivot. Identical results (and identical
+  /// simulated-noise consumption) to calling is_sbdr_fast(pivot, partner)
+  /// in partner order — this is the partition fast-scan workhorse.
+  [[nodiscard]] std::vector<char> is_sbdr_fast_batch(
+      std::uint64_t pivot, std::span<const std::uint64_t> partners);
+
+  /// Batched strict predicate: each pair gets `samples_per_latency + 2`
+  /// measurements in one controller pass; the min-filter verdict per pair
+  /// matches a scalar is_sbdr_strict call sequence.
+  [[nodiscard]] std::vector<char> is_sbdr_strict_batch(
+      std::span<const sim::addr_pair> pairs);
 
   [[nodiscard]] double threshold_ns() const noexcept { return threshold_ns_; }
   [[nodiscard]] bool calibrated() const noexcept { return threshold_ns_ > 0; }

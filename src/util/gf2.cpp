@@ -112,7 +112,7 @@ std::optional<std::uint64_t> solve(const matrix& a, std::uint64_t b,
   return x;
 }
 
-matrix null_space(const matrix& a, std::uint64_t support_mask) {
+matrix nullspace(const matrix& a, std::uint64_t support_mask) {
   // Columns = support bits; rows = functionals. Compute the kernel by
   // echelonizing the transposed system column by column.
   const std::vector<unsigned> cols = bits_of_mask(support_mask);
@@ -151,6 +151,26 @@ matrix null_space(const matrix& a, std::uint64_t support_mask) {
     }
   }
   return kernel;
+}
+
+matrix enumerate_span(const matrix& basis) {
+  const matrix reduced = row_echelon(basis);
+  DRAMDIG_EXPECTS(reduced.size() <= 24);
+  const std::uint64_t count = std::uint64_t{1} << reduced.size();
+  matrix out;
+  out.reserve(count - 1);
+  // Gray-code walk: consecutive combination indices differ in one basis
+  // vector, so each span vector is one XOR away from the previous.
+  std::uint64_t current = 0;
+  for (std::uint64_t i = 1; i < count; ++i) {
+    const std::uint64_t gray_flip = i ^ (i >> 1);
+    const std::uint64_t prev_gray = (i - 1) ^ ((i - 1) >> 1);
+    const unsigned flipped =
+        static_cast<unsigned>(std::countr_zero(gray_flip ^ prev_gray));
+    current ^= reduced[flipped];
+    out.push_back(current);
+  }
+  return out;
 }
 
 }  // namespace dramdig::gf2

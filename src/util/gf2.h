@@ -54,8 +54,24 @@ using matrix = std::vector<std::uint64_t>;
 
 /// A basis for the null space of the functionals in `a` restricted to the
 /// bit positions in `support_mask`: vectors x (subsets of support_mask) with
-/// parity(x, a[i]) == 0 for every i. Used by fine-grained detection to build
-/// address deltas that keep the bank invariant.
-[[nodiscard]] matrix null_space(const matrix& a, std::uint64_t support_mask);
+/// parity(x, a[i]) == 0 for every i. Two consumers: fine-grained detection
+/// builds bank-invariant address deltas from it, and function detection
+/// recovers the *entire* candidate-mask set from a pile's XOR-difference
+/// matrix — a mask is constant on a pile iff it annihilates every
+/// difference, so the candidates are exactly this null space.
+[[nodiscard]] matrix nullspace(const matrix& a, std::uint64_t support_mask);
+
+/// Legacy spelling of nullspace().
+[[nodiscard]] inline matrix null_space(const matrix& a,
+                                       std::uint64_t support_mask) {
+  return nullspace(a, support_mask);
+}
+
+/// Every nonzero vector of the row space of `basis` (which need not be
+/// reduced): 2^rank - 1 vectors, enumerated by Gray code so each step costs
+/// one XOR. Precondition: rank(basis) <= 24 — the caller is expected to
+/// have collapsed the space first; function detection's spaces have rank
+/// log2(#banks).
+[[nodiscard]] matrix enumerate_span(const matrix& basis);
 
 }  // namespace dramdig::gf2

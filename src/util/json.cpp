@@ -1,0 +1,20 @@
+#include "util/json.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace dramdig {
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    throw std::runtime_error("write_file: cannot open '" + path +
+                             "' for writing");
+  }
+  out << contents;
+  if (!out.good()) {
+    throw std::runtime_error("write_file: short write to '" + path + "'");
+  }
+}
+
+}  // namespace dramdig

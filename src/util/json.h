@@ -1,0 +1,137 @@
+// Minimal JSON emission for the benchmark harnesses.
+//
+// Every bench binary writes a machine-readable BENCH_*.json next to its
+// ASCII tables so the perf trajectory (wall time, virtual-clock time,
+// access/measurement counts) can be tracked across PRs by CI without
+// scraping stdout. Emission only — the project never parses JSON — so a
+// small append-style writer with automatic comma/indent management is all
+// that is needed.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace dramdig {
+
+class json_writer {
+ public:
+  json_writer& begin_object() {
+    open("{");
+    return *this;
+  }
+  json_writer& end_object() {
+    close("}");
+    return *this;
+  }
+  json_writer& begin_array() {
+    open("[");
+    return *this;
+  }
+  json_writer& end_array() {
+    close("]");
+    return *this;
+  }
+
+  /// Emit `"name":` — must be followed by a value or container.
+  json_writer& key(const std::string& name) {
+    separate();
+    out_ << quote(name) << ": ";
+    after_key_ = true;
+    return *this;
+  }
+
+  json_writer& value(const std::string& v) { return scalar(quote(v)); }
+  json_writer& value(const char* v) { return scalar(quote(v)); }
+  json_writer& value(bool v) { return scalar(v ? "true" : "false"); }
+  /// One template for every integer width so size_t/uint64_t call sites
+  /// resolve identically on LP64 and LLP64 platforms.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  json_writer& value(T v) {
+    return scalar(std::to_string(v));
+  }
+  json_writer& value(double v) {
+    // JSON has no NaN/Inf; clamp to null, which consumers treat as absent.
+    if (v != v || v > 1.7e308 || v < -1.7e308) return scalar("null");
+    std::ostringstream s;
+    s.precision(15);
+    s << v;
+    return scalar(s.str());
+  }
+
+  /// Finished document; valid only when every container was closed.
+  [[nodiscard]] std::string str() const {
+    DRAMDIG_EXPECTS(depth_.empty());
+    return out_.str() + "\n";
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out + "\"";
+  }
+
+  void separate() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!depth_.empty()) {
+      if (depth_.back()) out_ << ",";
+      out_ << "\n" << std::string(2 * depth_.size(), ' ');
+      depth_.back() = true;
+    }
+  }
+
+  void open(const char* bracket) {
+    separate();
+    out_ << bracket;
+    depth_.push_back(false);
+  }
+
+  void close(const char* bracket) {
+    DRAMDIG_EXPECTS(!depth_.empty());
+    const bool had_items = depth_.back();
+    depth_.pop_back();
+    if (had_items) out_ << "\n" << std::string(2 * depth_.size(), ' ');
+    out_ << bracket;
+  }
+
+  json_writer& scalar(const std::string& rendered) {
+    separate();
+    out_ << rendered;
+    return *this;
+  }
+
+  std::ostringstream out_;
+  std::vector<bool> depth_;  ///< per open container: has emitted an item
+  bool after_key_ = false;
+};
+
+/// Write `contents` to `path`, replacing any previous file.
+void write_file(const std::string& path, const std::string& contents);
+
+}  // namespace dramdig

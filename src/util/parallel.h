@@ -1,0 +1,97 @@
+// Deterministic work sharding for batch-oriented hot paths.
+//
+// The batched measurement engine and the bench drivers fan independent work
+// (address decodes, whole machine runs) across threads. Reproducibility is
+// non-negotiable in this project — every table and test is seeded — so the
+// split is computed from item indices alone: shard i always owns the same
+// contiguous index range regardless of how many threads actually run, and
+// callers merge results by shard index. Combined with one forked rng per
+// shard, the output is bit-identical on 1 thread and on 16.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/expect.h"
+#include "util/rng.h"
+
+namespace dramdig {
+
+/// One contiguous slice of a [0, n) index range.
+struct shard {
+  std::size_t begin = 0;  ///< first index owned (inclusive)
+  std::size_t end = 0;    ///< one past the last index owned
+  unsigned index = 0;     ///< shard number, 0-based
+};
+
+/// Threads worth spawning on this host, clamped to [1, 16]. A value of 1
+/// makes every parallel_for_shards call run inline.
+[[nodiscard]] inline unsigned default_shard_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : (hw > 16 ? 16 : hw);
+}
+
+/// Split [0, n) into at most `shards` near-equal contiguous slices (never
+/// more than n) — the deterministic partition both the runner and tests
+/// rely on.
+[[nodiscard]] inline std::vector<shard> make_shards(std::size_t n,
+                                                    unsigned shards) {
+  DRAMDIG_EXPECTS(shards >= 1);
+  std::vector<shard> out;
+  if (n == 0) return out;
+  const std::size_t count =
+      std::min<std::size_t>(shards, n);
+  const std::size_t base = n / count;
+  const std::size_t extra = n % count;  // first `extra` shards get one more
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    out.push_back({at, at + len, static_cast<unsigned>(i)});
+    at += len;
+  }
+  return out;
+}
+
+/// Run `fn` once per shard of [0, n), on worker threads when more than one
+/// shard exists. `fn` must confine writes to shard-private state (slots of
+/// a pre-sized output vector indexed by item or shard index are the
+/// intended pattern). Exceptions thrown by `fn` are rethrown on the caller
+/// thread after all workers join.
+inline void parallel_for_shards(std::size_t n, unsigned shards,
+                                const std::function<void(const shard&)>& fn) {
+  const std::vector<shard> plan = make_shards(n, shards);
+  if (plan.empty()) return;
+  if (plan.size() == 1) {
+    fn(plan.front());
+    return;
+  }
+  std::vector<std::exception_ptr> errors(plan.size());
+  std::vector<std::thread> workers;
+  workers.reserve(plan.size());
+  for (const shard& s : plan) {
+    workers.emplace_back([&fn, &errors, s] {
+      try {
+        fn(s);
+      } catch (...) {
+        errors[s.index] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+/// Fork `n` independent child streams from `parent` — one per shard, drawn
+/// in shard order so the set of streams does not depend on thread count.
+[[nodiscard]] inline std::vector<rng> fork_rngs(rng& parent, std::size_t n) {
+  std::vector<rng> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(parent.fork());
+  return out;
+}
+
+}  // namespace dramdig

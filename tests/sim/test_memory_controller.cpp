@@ -148,6 +148,49 @@ TEST(MemoryController, BurstsElevateContamination) {
   EXPECT_GT(contaminated, 150);
 }
 
+TEST(MemoryController, BatchMatchesScalarSequence) {
+  // The batched engine's core contract: measure_pairs is bit-identical to
+  // the equivalent sequence of scalar measure_pair calls — same noise
+  // draws, same clock, same counters, same row-buffer state.
+  controller_fixture scalar(11), batched(11);
+  rng addr(77);
+  std::vector<addr_pair> pairs;
+  for (int i = 0; i < 5000; ++i) {
+    pairs.emplace_back(addr.below(scalar.spec.memory_bytes) & ~63ull,
+                       addr.below(scalar.spec.memory_bytes) & ~63ull);
+  }
+  std::vector<pair_measurement> expected;
+  expected.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) {
+    expected.push_back(scalar.mc.measure_pair(a, b, 300));
+  }
+  const auto got = batched.mc.measure_pairs(pairs, 300);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i].mean_access_ns, expected[i].mean_access_ns) << i;
+    EXPECT_EQ(got[i].contaminated, expected[i].contaminated) << i;
+  }
+  EXPECT_EQ(batched.clock.now_ns(), scalar.clock.now_ns());
+  EXPECT_EQ(batched.mc.access_count(), scalar.mc.access_count());
+  EXPECT_EQ(batched.mc.measurement_count(), scalar.mc.measurement_count());
+  // Row-buffer state converged identically: subsequent accesses agree.
+  EXPECT_DOUBLE_EQ(batched.mc.access(0), scalar.mc.access(0));
+}
+
+TEST(MemoryController, BatchRejectsOutOfRangeBeforeMeasuring) {
+  controller_fixture f;
+  const std::vector<addr_pair> bad{{0, 64}, {f.spec.memory_bytes, 0}};
+  EXPECT_THROW((void)f.mc.measure_pairs(bad, 10), contract_violation);
+  // Validation happens in the decode phase, before any noise is drawn.
+  EXPECT_EQ(f.mc.measurement_count(), 0u);
+}
+
+TEST(MemoryController, EmptyBatchIsANoOp) {
+  controller_fixture f;
+  EXPECT_TRUE(f.mc.measure_pairs({}, 10).empty());
+  EXPECT_EQ(f.mc.access_count(), 0u);
+}
+
 TEST(MemoryController, DeterministicForEqualSeeds) {
   controller_fixture a(42), b(42);
   for (int i = 0; i < 50; ++i) {

@@ -119,6 +119,45 @@ TEST(Channel, MeasurementCountScalesWithSamples) {
   EXPECT_EQ(f.mc.measurement_count() - before, 5u);
 }
 
+TEST(Channel, FastBatchMatchesScalarLoop) {
+  channel_fixture a(21), b(21);
+  (void)a.ch.calibrate(a.pool(512, 9));
+  (void)b.ch.calibrate(b.pool(512, 9));
+  const auto partners = a.pool(400, 33);
+  std::vector<char> scalar;
+  scalar.reserve(partners.size());
+  for (std::uint64_t p : partners) {
+    scalar.push_back(a.ch.is_sbdr_fast(0, p) ? 1 : 0);
+  }
+  const auto batch = b.ch.is_sbdr_fast_batch(0, partners);
+  EXPECT_EQ(batch, scalar);
+  EXPECT_EQ(a.clock.now_ns(), b.clock.now_ns());
+}
+
+TEST(Channel, StrictBatchMatchesScalarLoop) {
+  channel_fixture a(22), b(22);
+  (void)a.ch.calibrate(a.pool(512, 9));
+  (void)b.ch.calibrate(b.pool(512, 9));
+  std::vector<sim::addr_pair> pairs;
+  for (unsigned i = 0; i < 64; ++i) {
+    pairs.emplace_back(0, (std::uint64_t{i} << 14) & (a.spec.memory_bytes - 1));
+  }
+  std::vector<char> scalar;
+  scalar.reserve(pairs.size());
+  for (const auto& [p1, p2] : pairs) {
+    scalar.push_back(a.ch.is_sbdr_strict(p1, p2) ? 1 : 0);
+  }
+  EXPECT_EQ(b.ch.is_sbdr_strict_batch(pairs), scalar);
+  EXPECT_EQ(a.mc.measurement_count(), b.mc.measurement_count());
+}
+
+TEST(Channel, BatchRequiresCalibration) {
+  channel_fixture f;
+  const std::vector<std::uint64_t> partners{64};
+  EXPECT_THROW((void)f.ch.is_sbdr_fast_batch(0, partners),
+               contract_violation);
+}
+
 TEST(Channel, WorksOnNoisyMachineProfile) {
   // End-to-end sanity on the No.7-class noise profile: strict classifier
   // still separates the modes.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "util/bitops.h"
 #include "util/rng.h"
 
@@ -157,6 +159,45 @@ TEST(Gf2NullSpace, VectorsAnnihilateAllFunctionals) {
 TEST(Gf2NullSpace, FullRankSquareSystemHasTrivialKernel) {
   const matrix funcs{fn({0}), fn({1}), fn({2})};
   EXPECT_TRUE(null_space(funcs, fn({0, 1, 2})).empty());
+}
+
+TEST(Gf2EnumerateSpan, ListsEveryNonzeroVectorOnce) {
+  const matrix basis{fn({14, 18}), fn({15, 19}), fn({16, 20})};
+  const matrix span = enumerate_span(basis);
+  ASSERT_EQ(span.size(), 7u);  // 2^3 - 1
+  std::set<std::uint64_t> unique(span.begin(), span.end());
+  EXPECT_EQ(unique.size(), 7u);
+  EXPECT_FALSE(unique.contains(0));
+  for (std::uint64_t v : span) EXPECT_TRUE(in_span(basis, v));
+}
+
+TEST(Gf2EnumerateSpan, CollapsesDependentInput) {
+  // A redundant generator must not inflate the span.
+  const matrix basis{fn({1}), fn({2}), fn({1, 2})};
+  EXPECT_EQ(enumerate_span(basis).size(), 3u);
+  EXPECT_TRUE(enumerate_span({}).empty());
+}
+
+TEST(Gf2NullSpaceProperty, SpanEqualsBruteForceAnnihilators) {
+  // The function-detection contract: nullspace + enumerate_span must list
+  // exactly the nonzero support subsets orthogonal to every functional.
+  rng r(321);
+  for (int trial = 0; trial < 30; ++trial) {
+    const unsigned width = 6 + static_cast<unsigned>(r.below(5));  // 6..10
+    const std::uint64_t support = (std::uint64_t{1} << width) - 1;
+    matrix funcs;
+    const unsigned n = 1 + static_cast<unsigned>(r.below(4));
+    for (unsigned i = 0; i < n; ++i) funcs.push_back(1 + r.below(support));
+    std::set<std::uint64_t> brute;
+    for (std::uint64_t m = 1; m <= support; ++m) {
+      bool ok = true;
+      for (std::uint64_t f : funcs) ok = ok && parity(m, f) == 0;
+      if (ok) brute.insert(m);
+    }
+    const matrix span = enumerate_span(nullspace(funcs, support));
+    const std::set<std::uint64_t> got(span.begin(), span.end());
+    EXPECT_EQ(got, brute) << "trial " << trial;
+  }
 }
 
 TEST(Gf2Property, SolveRoundTripOnRandomSystems) {

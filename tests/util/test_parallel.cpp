@@ -1,0 +1,95 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace dramdig {
+namespace {
+
+TEST(ParallelShards, PlanCoversRangeExactlyOnce) {
+  for (std::size_t n : {0u, 1u, 2u, 7u, 64u, 1000u}) {
+    for (unsigned shards : {1u, 2u, 3u, 8u, 16u}) {
+      const auto plan = make_shards(n, shards);
+      std::vector<int> hits(n, 0);
+      for (const shard& s : plan) {
+        EXPECT_LE(s.begin, s.end);
+        for (std::size_t i = s.begin; i < s.end; ++i) ++hits[i];
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i], 1) << "n=" << n << " shards=" << shards;
+      }
+      EXPECT_LE(plan.size(), std::max<std::size_t>(n, 1));
+    }
+  }
+}
+
+TEST(ParallelShards, NeverMoreShardsThanItems) {
+  EXPECT_EQ(make_shards(3, 16).size(), 3u);
+  EXPECT_TRUE(make_shards(0, 4).empty());
+}
+
+TEST(ParallelShards, ResultsIndependentOfShardCount) {
+  // The canonical usage: each item writes its own slot. Any shard count
+  // must produce the identical output vector.
+  const std::size_t n = 503;
+  auto run = [n](unsigned shards) {
+    std::vector<std::uint64_t> out(n, 0);
+    parallel_for_shards(n, shards, [&](const shard& s) {
+      for (std::size_t i = s.begin; i < s.end; ++i) {
+        out[i] = i * 2654435761u + s.index * 0;  // value depends on i only
+      }
+    });
+    return out;
+  };
+  const auto one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(5));
+  EXPECT_EQ(one, run(16));
+}
+
+TEST(ParallelShards, AllItemsProcessedConcurrently) {
+  const std::size_t n = 10000;
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for_shards(n, 4, [&](const shard& s) {
+    std::uint64_t local = 0;
+    for (std::size_t i = s.begin; i < s.end; ++i) local += i;
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ParallelShards, PropagatesWorkerExceptions) {
+  EXPECT_THROW(
+      parallel_for_shards(8, 4,
+                          [](const shard& s) {
+                            if (s.index == 2) throw std::runtime_error("boom");
+                          }),
+      std::runtime_error);
+}
+
+TEST(ParallelShards, ForkRngsDeterministicAndIndependent) {
+  rng a(99), b(99);
+  auto fa = fork_rngs(a, 4);
+  auto fb = fork_rngs(b, 4);
+  ASSERT_EQ(fa.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(fa[i].below(1u << 30), fb[i].below(1u << 30));
+  }
+  // Distinct shards draw distinct streams.
+  rng c(99);
+  auto fc = fork_rngs(c, 2);
+  EXPECT_NE(fc[0].below(1ull << 62), fc[1].below(1ull << 62));
+}
+
+TEST(ParallelShards, DefaultShardCountSane) {
+  const unsigned n = default_shard_count();
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 16u);
+}
+
+}  // namespace
+}  // namespace dramdig
