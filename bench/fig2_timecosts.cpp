@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "baselines/drama.h"
@@ -44,6 +45,7 @@ struct tool_cost {
   double virtual_s = 0;
   double wall_s = 0;
   std::uint64_t measurements = 0;
+  std::uint64_t saved = 0;  ///< answered by the reuse cache (dramdig only)
   std::uint64_t accesses = 0;
   bool ok = false;
 };
@@ -70,6 +72,7 @@ row run_machine(const dram::machine_spec& spec) {
     r.dramdig.wall_s = wall_seconds_since(t0);
     r.dramdig.virtual_s = report.total_seconds;
     r.dramdig.measurements = report.total_measurements;
+    r.dramdig.saved = report.measurements_saved;
     r.dramdig.accesses = env.mach().controller().access_count();
     r.dramdig.ok = report.success && report.mapping &&
                    report.mapping->equivalent_to(spec.mapping);
@@ -104,6 +107,9 @@ void emit_json(const std::string& path, const std::vector<row>& rows) {
       w.key("virtual_seconds").value(cost.virtual_s);
       w.key("wall_seconds").value(cost.wall_s);
       w.key("measurement_count").value(cost.measurements);
+      if (std::string_view(name) == "dramdig") {
+        w.key("measurements_saved").value(cost.saved);
+      }
       w.key("access_count").value(cost.accesses);
       w.end_object();
     }

@@ -1,0 +1,140 @@
+// Perf-regression guard over a freshly emitted BENCH_micro.json: CI runs
+// the smoke bench, then this checker, and the build fails when a tracked
+// wall-speedup ratio drops below its floor or a differential-identity flag
+// flips. The project deliberately has no JSON parser (emission only), so
+// this scans for `"key": value` inside a named section — exactly the shape
+// util/json.h emits.
+//
+// Usage: bench_guard BENCH_micro.json [--min-nullspace=N] [--min-accounting=N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+/// Value text of `"key": ...` inside `section`'s object. The emitted
+/// sections are flat (no nested objects), so the section extends to the
+/// first closing brace after its opening one — bounding the key search
+/// there keeps a missing key from silently matching a later section.
+std::string value_after(const std::string& doc, const std::string& section,
+                        const std::string& key) {
+  const std::size_t at = doc.find("\"" + section + "\"");
+  if (at == std::string::npos) return {};
+  const std::size_t open = doc.find('{', at);
+  if (open == std::string::npos) return {};
+  const std::size_t close = doc.find('}', open);
+  const std::size_t k = doc.find("\"" + key + "\"", at);
+  if (k == std::string::npos || (close != std::string::npos && k > close)) {
+    return {};
+  }
+  std::size_t v = doc.find(':', k);
+  if (v == std::string::npos) return {};
+  ++v;
+  while (v < doc.size() && (doc[v] == ' ' || doc[v] == '\t')) ++v;
+  std::size_t end = v;
+  while (end < doc.size() && doc[end] != ',' && doc[end] != '\n' &&
+         doc[end] != '}') {
+    ++end;
+  }
+  return doc.substr(v, end - v);
+}
+
+bool check_speedup(const std::string& doc, const std::string& section,
+                   double floor, int& failures) {
+  const std::string text = value_after(doc, section, "wall_speedup");
+  if (text.empty()) {
+    std::fprintf(stderr, "guard: %s.wall_speedup missing\n", section.c_str());
+    ++failures;
+    return false;
+  }
+  const double speedup = std::strtod(text.c_str(), nullptr);
+  if (speedup < floor) {
+    std::fprintf(stderr, "guard: %s.wall_speedup %.2fx below floor %.2fx\n",
+                 section.c_str(), speedup, floor);
+    ++failures;
+    return false;
+  }
+  std::printf("guard: %s.wall_speedup %.2fx (floor %.2fx) ok\n",
+              section.c_str(), speedup, floor);
+  return true;
+}
+
+bool check_true(const std::string& doc, const std::string& section,
+                const std::string& key, int& failures) {
+  const std::string text = value_after(doc, section, key);
+  if (text.substr(0, 4) != "true") {
+    std::fprintf(stderr, "guard: %s.%s is '%s', want true\n", section.c_str(),
+                 key.c_str(), text.c_str());
+    ++failures;
+    return false;
+  }
+  std::printf("guard: %s.%s ok\n", section.c_str(), key.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  double min_nullspace = 5.0;
+  double min_accounting = 3.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--min-nullspace=", 16) == 0) {
+      min_nullspace = std::strtod(argv[i] + 16, nullptr);
+    } else if (std::strncmp(argv[i], "--min-accounting=", 17) == 0) {
+      min_accounting = std::strtod(argv[i] + 17, nullptr);
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: bench_guard BENCH_micro.json "
+                         "[--min-nullspace=N] [--min-accounting=N]\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "guard: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+
+  int failures = 0;
+  check_speedup(doc, "function_detect_synthetic", min_nullspace, failures);
+  check_true(doc, "function_detect_synthetic", "identical_functions", failures);
+  check_speedup(doc, "measurement_accounting", min_accounting, failures);
+  check_true(doc, "measurement_accounting", "identical_results", failures);
+  check_true(doc, "partition_measurement_reuse", "ok_cache_on", failures);
+  // A failed baseline would make the reduction comparison meaningless.
+  check_true(doc, "partition_measurement_reuse", "ok_cache_off", failures);
+
+  // The scheduler must reduce the measurement count, not just match it.
+  const std::string off =
+      value_after(doc, "partition_measurement_reuse", "measurements_cache_off");
+  const std::string on =
+      value_after(doc, "partition_measurement_reuse", "measurements_cache_on");
+  const double m_off = std::strtod(off.c_str(), nullptr);
+  const double m_on = std::strtod(on.c_str(), nullptr);
+  if (off.empty() || on.empty() || !(m_on < m_off)) {
+    std::fprintf(stderr,
+                 "guard: measurement reuse regressed (cache on %s, off %s)\n",
+                 on.c_str(), off.c_str());
+    ++failures;
+  } else {
+    std::printf("guard: partition reuse %.0f -> %.0f measurements ok\n", m_off,
+                m_on);
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "guard: %d check(s) failed on %s\n", failures,
+                 path.c_str());
+    return 1;
+  }
+  std::printf("guard: all checks passed on %s\n", path.c_str());
+  return 0;
+}

@@ -214,7 +214,7 @@ void emit_bench_json(const std::string& path, bool smoke) {
   // 16 bank bits / 8 functions on the full run: the channel+rank+bank-group
   // shape of a large dual-channel DDR4 config, where the 2^16 enumeration
   // pays 255 surviving masks against every pile member.
-  const unsigned width = smoke ? 12 : 16;
+  const unsigned width = smoke ? 14 : 16;
   const unsigned functions = smoke ? 6 : 8;
   const synthetic_piles s = make_synthetic(width, functions, 42);
 
@@ -222,17 +222,33 @@ void emit_bench_json(const std::string& path, bool smoke) {
   core::function_config oracle_cfg{};
   oracle_cfg.use_nullspace = false;
 
+  // Min-of-3 wall times: the nullspace run is sub-millisecond on the
+  // smoke config, so a single scheduler stall would sink the CI guard's
+  // speedup floor with no code regression. Both runs are deterministic,
+  // so the min is the honest host cost.
   sim::virtual_clock nullspace_clock;
-  auto t0 = std::chrono::steady_clock::now();
-  const auto fast = core::detect_functions(s.piles, s.bank_bits, s.bank_count,
-                                           nullspace_clock, nullspace_cfg);
-  const double nullspace_wall_s = wall_seconds_since(t0);
+  core::function_outcome fast;
+  double nullspace_wall_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    sim::virtual_clock clock;
+    const auto t0 = std::chrono::steady_clock::now();
+    fast = core::detect_functions(s.piles, s.bank_bits, s.bank_count, clock,
+                                  nullspace_cfg);
+    nullspace_wall_s = std::min(nullspace_wall_s, wall_seconds_since(t0));
+    nullspace_clock = clock;
+  }
 
   sim::virtual_clock oracle_clock;
-  t0 = std::chrono::steady_clock::now();
-  const auto slow = core::detect_functions(s.piles, s.bank_bits, s.bank_count,
-                                           oracle_clock, oracle_cfg);
-  const double oracle_wall_s = wall_seconds_since(t0);
+  core::function_outcome slow;
+  double oracle_wall_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    sim::virtual_clock clock;
+    const auto t0 = std::chrono::steady_clock::now();
+    slow = core::detect_functions(s.piles, s.bank_bits, s.bank_count, clock,
+                                  oracle_cfg);
+    oracle_wall_s = std::min(oracle_wall_s, wall_seconds_since(t0));
+    oracle_clock = clock;
+  }
 
   const bool agree = fast.success && slow.success &&
                      fast.functions == slow.functions &&
@@ -250,7 +266,7 @@ void emit_bench_json(const std::string& path, bool smoke) {
                        addr.below(spec.memory_bytes) & ~63ull);
   }
   sim::machine scalar_machine(spec, 11, sim::timing_profile_for(spec));
-  t0 = std::chrono::steady_clock::now();
+  auto t0 = std::chrono::steady_clock::now();
   for (const auto& [a, b] : pairs) {
     benchmark::DoNotOptimize(scalar_machine.controller().measure_pair(a, b, 1000));
   }
@@ -260,6 +276,54 @@ void emit_bench_json(const std::string& path, bool smoke) {
   t0 = std::chrono::steady_clock::now();
   benchmark::DoNotOptimize(batch_machine.controller().measure_pairs(pairs, 1000));
   const double batch_wall_s = wall_seconds_since(t0);
+
+  // Closed-form access accounting vs the per-access loop oracle: same
+  // batch, same seeds — the results must be bit-identical while the loop
+  // walks 2*rounds row-buffer transitions per measurement. Min-of-3 wall
+  // times on fresh machines per repetition: this ratio is CI-gated and
+  // the closed-form run is only milliseconds, so a single scheduler stall
+  // must not sink the floor.
+  double loop_wall_s = 1e300, closed_wall_s = 1e300;
+  bool accounting_identical = false;
+  for (int rep = 0; rep < 3; ++rep) {
+    sim::timing_model loop_timing = sim::timing_profile_for(spec);
+    loop_timing.closed_form_accounting = false;
+    sim::machine loop_machine(spec, 11, loop_timing);
+    t0 = std::chrono::steady_clock::now();
+    const auto loop_results =
+        loop_machine.controller().measure_pairs(pairs, 1000);
+    loop_wall_s = std::min(loop_wall_s, wall_seconds_since(t0));
+
+    sim::machine closed_machine(spec, 11, sim::timing_profile_for(spec));
+    t0 = std::chrono::steady_clock::now();
+    const auto closed_results =
+        closed_machine.controller().measure_pairs(pairs, 1000);
+    closed_wall_s = std::min(closed_wall_s, wall_seconds_since(t0));
+
+    accounting_identical =
+        loop_machine.clock().now_ns() == closed_machine.clock().now_ns();
+    for (std::size_t i = 0; accounting_identical && i < pairs.size(); ++i) {
+      accounting_identical =
+          loop_results[i].mean_access_ns == closed_results[i].mean_access_ns &&
+          loop_results[i].contaminated == closed_results[i].contaminated;
+    }
+  }
+
+  // Measurement-reuse scheduler: the same full pipeline run with the
+  // verdict cache on vs off — the measurement *count* is the paper's cost
+  // metric, the wall times bound the host cost.
+  const auto reuse_spec = dram::machine_by_number(smoke ? 4 : 2);
+  core::dramdig_config cache_off{};
+  cache_off.plan.reuse_verdicts = false;
+  core::environment env_off(reuse_spec, 2000 + reuse_spec.number);
+  t0 = std::chrono::steady_clock::now();
+  const auto report_off = core::dramdig_tool(env_off, cache_off).run();
+  const double reuse_off_wall_s = wall_seconds_since(t0);
+
+  core::environment env_on(reuse_spec, 2000 + reuse_spec.number);
+  t0 = std::chrono::steady_clock::now();
+  const auto report_on = core::dramdig_tool(env_on).run();
+  const double reuse_on_wall_s = wall_seconds_since(t0);
 
   json_writer w;
   w.begin_object();
@@ -288,6 +352,27 @@ void emit_bench_json(const std::string& path, bool smoke) {
   w.key("measurement_count")
       .value(batch_machine.controller().measurement_count());
   w.end_object();
+  w.key("measurement_accounting").begin_object();
+  w.key("pair_count").value(pair_count);
+  w.key("loop_wall_s").value(loop_wall_s);
+  w.key("closed_form_wall_s").value(closed_wall_s);
+  w.key("wall_speedup").value(loop_wall_s / std::max(closed_wall_s, 1e-9));
+  w.key("identical_results").value(accounting_identical);
+  w.end_object();
+  w.key("partition_measurement_reuse").begin_object();
+  w.key("machine").value(reuse_spec.label());
+  w.key("ok_cache_off").value(report_off.success);
+  w.key("ok_cache_on").value(report_on.success);
+  w.key("measurements_cache_off").value(report_off.total_measurements);
+  w.key("measurements_cache_on").value(report_on.total_measurements);
+  w.key("measurements_saved").value(report_on.measurements_saved);
+  w.key("measurement_reduction")
+      .value(static_cast<double>(report_off.total_measurements) /
+             static_cast<double>(
+                 std::max<std::uint64_t>(report_on.total_measurements, 1)));
+  w.key("wall_cache_off_s").value(reuse_off_wall_s);
+  w.key("wall_cache_on_s").value(reuse_on_wall_s);
+  w.end_object();
   w.end_object();
   write_file(path, w.str());
 
@@ -300,6 +385,17 @@ void emit_bench_json(const std::string& path, bool smoke) {
   std::printf("batched engine, %zu pairs: scalar %.3fs, batch %.3fs (%.1fx)\n",
               pair_count, scalar_wall_s, batch_wall_s,
               scalar_wall_s / std::max(batch_wall_s, 1e-9));
+  std::printf("accounting, %zu pairs: access loop %.3fs, closed form %.4fs "
+              "(%.0fx), identical results: %s\n",
+              pair_count, loop_wall_s, closed_wall_s,
+              loop_wall_s / std::max(closed_wall_s, 1e-9),
+              accounting_identical ? "yes" : "NO");
+  std::printf("measurement reuse on %s: %llu measurements without cache, "
+              "%llu with (%llu saved)\n",
+              reuse_spec.label().c_str(),
+              static_cast<unsigned long long>(report_off.total_measurements),
+              static_cast<unsigned long long>(report_on.total_measurements),
+              static_cast<unsigned long long>(report_on.measurements_saved));
 }
 
 }  // namespace

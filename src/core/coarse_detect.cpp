@@ -14,35 +14,40 @@ namespace {
 /// delta, using the min-filtered predicate: a background-load burst can
 /// span this whole phase, and a burst-length stretch of one-sided
 /// contamination would otherwise flip half the single-bit verdicts.
-/// Returns nullopt when no measurable pair exists.
-std::optional<bool> vote_sbdr(timing::channel& channel,
+/// Returns nullopt when no measurable pair exists. Pair picking only
+/// consults the pagemap, so all pairs are collected up front and the
+/// strict measurements serviced as one batch through the scheduler —
+/// matching fine_detect's vote loop.
+std::optional<bool> vote_sbdr(measurement_plan& plan,
                               const os::mapping_region& buffer,
                               std::uint64_t delta, unsigned votes,
                               unsigned attempts, rng& r) {
-  unsigned high = 0, cast = 0;
+  std::vector<sim::addr_pair> pairs;
+  pairs.reserve(votes);
   for (unsigned v = 0; v < votes; ++v) {
     const auto pair = pick_pair_with_delta(buffer, delta, r, attempts);
-    if (!pair) continue;
-    ++cast;
-    if (channel.is_sbdr_strict(pair->first, pair->second)) ++high;
+    if (pair) pairs.push_back(*pair);
   }
-  if (cast == 0) return std::nullopt;
-  return high * 2 > cast;
+  if (pairs.empty()) return std::nullopt;
+  const std::vector<char> verdicts = plan.is_sbdr_strict_batch(pairs);
+  unsigned high = 0;
+  for (char v : verdicts) high += v != 0;
+  return high * 2 > pairs.size();
 }
 
 }  // namespace
 
-coarse_result run_coarse_detection(timing::channel& channel,
+coarse_result run_coarse_detection(measurement_plan& plan,
                                    const os::mapping_region& buffer,
                                    const domain_knowledge& knowledge, rng& r,
                                    const coarse_config& config) {
-  DRAMDIG_EXPECTS(channel.calibrated());
+  DRAMDIG_EXPECTS(plan.channel().calibrated());
   coarse_result result;
 
   // --- Row pass: single-bit deltas. -------------------------------------
   std::vector<unsigned> non_row;
   for (unsigned b = knowledge.min_probe_bit; b < knowledge.address_bits; ++b) {
-    const auto verdict = vote_sbdr(channel, buffer, std::uint64_t{1} << b,
+    const auto verdict = vote_sbdr(plan, buffer, std::uint64_t{1} << b,
                                    config.votes, config.pair_attempts, r);
     if (!verdict) {
       result.untestable_bits.push_back(b);
@@ -69,7 +74,7 @@ coarse_result run_coarse_detection(timing::channel& channel,
   for (unsigned b : non_row) {
     const std::uint64_t delta =
         (std::uint64_t{1} << row_ref) | (std::uint64_t{1} << b);
-    const auto verdict = vote_sbdr(channel, buffer, delta, config.votes,
+    const auto verdict = vote_sbdr(plan, buffer, delta, config.votes,
                                    config.pair_attempts, r);
     if (verdict && *verdict) {
       result.column_bits.push_back(b);
@@ -89,6 +94,14 @@ coarse_result run_coarse_detection(timing::channel& channel,
            " cols=" + std::to_string(result.column_bits.size()) +
            " covered=" + std::to_string(result.bank_bits.size()));
   return result;
+}
+
+coarse_result run_coarse_detection(timing::channel& channel,
+                                   const os::mapping_region& buffer,
+                                   const domain_knowledge& knowledge, rng& r,
+                                   const coarse_config& config) {
+  measurement_plan plan(channel);
+  return run_coarse_detection(plan, buffer, knowledge, r, config);
 }
 
 }  // namespace dramdig::core

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/domain_knowledge.h"
+#include "core/measurement_plan.h"
 #include "os/address_space.h"
 #include "timing/channel.h"
 #include "util/rng.h"
@@ -31,7 +32,14 @@ struct coarse_result {
   std::vector<unsigned> untestable_bits;  ///< no measurable pair existed
 };
 
-/// Run Step 1 against the buffer. Requires a calibrated channel.
+/// Run Step 1 against the buffer. Requires a calibrated channel. Votes go
+/// through the measurement-reuse scheduler, so a pair re-picked across
+/// votes (or later pipeline stages) never pays twice.
+[[nodiscard]] coarse_result run_coarse_detection(
+    measurement_plan& plan, const os::mapping_region& buffer,
+    const domain_knowledge& knowledge, rng& r, const coarse_config& config = {});
+
+/// Convenience overload with a call-local plan.
 [[nodiscard]] coarse_result run_coarse_detection(
     timing::channel& channel, const os::mapping_region& buffer,
     const domain_knowledge& knowledge, rng& r, const coarse_config& config = {});

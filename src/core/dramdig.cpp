@@ -47,9 +47,15 @@ dramdig_report dramdig_tool::run() {
   const std::uint64_t t_begin = mc.clock().now_ns();
   const std::uint64_t m_begin = mc.measurement_count();
   rng r(env_.seed() ^ config_.tool_seed * 0x9e3779b97f4a7c15ull);
+  timing::channel channel(mc, config_.channel, r.fork());
+  // One measurement-reuse scheduler for the whole run: verdicts accreted
+  // in any phase (or any partition attempt of the bank-count sweep) are
+  // reused by every later scan.
+  measurement_plan plan(channel, config_.plan);
   const auto finish = [&]() {
     report.total_seconds = mc.clock().seconds_since(t_begin);
     report.total_measurements = mc.measurement_count() - m_begin;
+    report.measurements_saved = plan.stats().measurements_saved;
     // One-line phase breakdown (the Fig. 2 decomposition) so a perf
     // regression in any stage is visible without the bench harness.
     const auto phase = [](const char* name, const phase_stats& s) {
@@ -78,7 +84,6 @@ dramdig_report dramdig_tool::run() {
   const os::mapping_region& buffer = env_.space().map_buffer(
       static_cast<std::uint64_t>(config_.buffer_fraction *
                                  static_cast<double>(info.total_bytes)));
-  timing::channel channel(mc, config_.channel, r.fork());
   {
     phase_meter meter(mc, report.calibration);
     const auto pool = sample_addresses(buffer, 2048, r);
@@ -90,7 +95,7 @@ dramdig_report dramdig_tool::run() {
   coarse_result coarse;
   {
     phase_meter meter(mc, report.coarse);
-    coarse = run_coarse_detection(channel, buffer, knowledge, r,
+    coarse = run_coarse_detection(plan, buffer, knowledge, r,
                                   config_.coarse);
   }
   report.coarse_detail = coarse;
@@ -140,6 +145,14 @@ dramdig_report dramdig_tool::run() {
   for (unsigned attempt = 0; attempt < config_.max_attempts && !functions.success;
        ++attempt) {
     report.attempts_used = attempt + 1;
+    if (attempt > 0) {
+      // A failed attempt may mean a cached relation is wrong (a burst can
+      // push a false positive through the min filter, and merges are
+      // permanent): retry from fresh measurements, like the
+      // pre-scheduler pipeline did. The bank-count sweep below still
+      // shares the cache within one attempt.
+      plan.reset();
+    }
     if (attempt > 0 && pool.size() < 32768) {
       // Extend the selection bit set by the lowest still-unused row bits.
       std::vector<unsigned> bits = coarse.bank_bits;
@@ -159,7 +172,7 @@ dramdig_report dramdig_tool::run() {
       partition_outcome po;
       {
         phase_meter meter(mc, report.partition);
-        po = partition_pool(channel, pool, banks, r, config_.partition);
+        po = partition_pool(plan, pool, banks, r, config_.partition);
       }
       if (!po.success) continue;
       function_outcome fo;
@@ -191,7 +204,7 @@ dramdig_report dramdig_tool::run() {
   fine_outcome fine;
   if (config_.use_spec_counts) {
     phase_meter meter(mc, report.fine);
-    fine = run_fine_detection(channel, buffer, knowledge, coarse,
+    fine = run_fine_detection(plan, buffer, knowledge, coarse,
                               functions.functions, r, config_.fine);
   } else {
     // Spec-count ablation: no way to know how many shared bits remain; the
@@ -220,7 +233,9 @@ dramdig_report dramdig_tool::run() {
   finish();
   log_info("dramdig: " + std::string(report.success ? "success" : "FAILED") +
            " in " + std::to_string(report.total_seconds) + "s, " +
-           std::to_string(report.total_measurements) + " measurements");
+           std::to_string(report.total_measurements) + " measurements (" +
+           std::to_string(report.measurements_saved) +
+           " answered from the reuse cache)");
   return report;
 }
 

@@ -20,6 +20,7 @@
 #include "core/environment.h"
 #include "core/fine_detect.h"
 #include "core/function_detect.h"
+#include "core/measurement_plan.h"
 #include "core/partition.h"
 #include "dram/mapping.h"
 #include "timing/channel.h"
@@ -37,6 +38,10 @@ struct dramdig_config {
   partition_config partition{};
   function_config functions{};
   fine_config fine{};
+  /// Measurement-reuse scheduler shared by every phase of one run: strict
+  /// verdicts merge same-bank classes, scan negatives separate them, and
+  /// any relation the cache implies is answered without a measurement.
+  plan_config plan{};
   /// Partition/function-resolution retries before giving up.
   unsigned max_attempts = 3;
   /// Ablation switches: without system information the tool must guess the
@@ -59,6 +64,15 @@ struct dramdig_report {
   phase_stats calibration, coarse, selection, partition, functions, fine;
   double total_seconds = 0.0;
   std::uint64_t total_measurements = 0;
+  /// Cache activity of the reuse scheduler, valued in measurements: every
+  /// verdict answered from the cache (class membership, cross proofs,
+  /// memoized strict votes, pre-screened scan remainders, min-filter
+  /// sample reuse) counts what re-measuring it in place would have cost.
+  /// Repeat scans re-count their reuse, so this meters this run's own
+  /// path — it is NOT the delta against a cache-off run, whose pivot
+  /// choices and attempt structure diverge (compare total_measurements
+  /// across configs for that, as bench_micro_primitives does).
+  std::uint64_t measurements_saved = 0;
 
   std::size_t pool_size = 0;
   std::size_t pile_count = 0;

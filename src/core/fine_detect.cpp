@@ -31,12 +31,13 @@ std::optional<std::uint64_t> bank_invariant_delta(
 /// min-filtered predicate: accepting a shared row bit on a contaminated
 /// fast sample would corrupt the final mapping, and contamination is
 /// one-sided, so the strict variant is the right tool here.
-std::optional<bool> vote_delta(timing::channel& channel,
+std::optional<bool> vote_delta(measurement_plan& plan,
                                const os::mapping_region& buffer,
                                std::uint64_t delta, unsigned votes,
                                unsigned attempts, rng& r) {
   // Pair picking only consults the pagemap, so all pairs can be collected
-  // up front and the strict measurements serviced as one controller batch.
+  // up front and the strict measurements serviced as one controller batch
+  // through the scheduler (re-picked pairs answer from its memo).
   std::vector<sim::addr_pair> pairs;
   pairs.reserve(votes);
   for (unsigned v = 0; v < votes; ++v) {
@@ -44,7 +45,7 @@ std::optional<bool> vote_delta(timing::channel& channel,
     if (pair) pairs.push_back(*pair);
   }
   if (pairs.empty()) return std::nullopt;
-  const std::vector<char> verdicts = channel.is_sbdr_strict_batch(pairs);
+  const std::vector<char> verdicts = plan.is_sbdr_strict_batch(pairs);
   unsigned high = 0;
   for (char v : verdicts) high += v != 0;
   return high * 2 > pairs.size();
@@ -52,7 +53,7 @@ std::optional<bool> vote_delta(timing::channel& channel,
 
 }  // namespace
 
-fine_outcome run_fine_detection(timing::channel& channel,
+fine_outcome run_fine_detection(measurement_plan& plan,
                                 const os::mapping_region& buffer,
                                 const domain_knowledge& knowledge,
                                 const coarse_result& coarse,
@@ -98,7 +99,7 @@ fine_outcome run_fine_detection(timing::channel& channel,
     bool accept = true;
     const auto delta = bank_invariant_delta(bank_functions, candidate, support);
     if (delta) {
-      const auto verdict = vote_delta(channel, buffer, *delta, config.votes,
+      const auto verdict = vote_delta(plan, buffer, *delta, config.votes,
                                       config.pair_attempts, r);
       if (verdict.has_value()) {
         accept = *verdict;  // high latency <=> a row bit rides in the delta
@@ -184,6 +185,17 @@ fine_outcome run_fine_detection(timing::channel& channel,
            " shared column bits, " +
            std::to_string(out.rejected_candidates.size()) + " refuted");
   return out;
+}
+
+fine_outcome run_fine_detection(timing::channel& channel,
+                                const os::mapping_region& buffer,
+                                const domain_knowledge& knowledge,
+                                const coarse_result& coarse,
+                                const std::vector<std::uint64_t>& bank_functions,
+                                rng& r, const fine_config& config) {
+  measurement_plan plan(channel);
+  return run_fine_detection(plan, buffer, knowledge, coarse, bank_functions, r,
+                            config);
 }
 
 }  // namespace dramdig::core

@@ -26,6 +26,7 @@
 
 #include "core/coarse_detect.h"
 #include "core/domain_knowledge.h"
+#include "core/measurement_plan.h"
 #include "os/address_space.h"
 #include "timing/channel.h"
 #include "util/rng.h"
@@ -47,6 +48,16 @@ struct fine_outcome {
   bool timing_verified = true;    ///< no accepted candidate lacked a probe
 };
 
+/// Primary interface: candidate votes go through the measurement-reuse
+/// scheduler (shared with partition, so strict verdicts accreted there are
+/// available here and vice versa).
+[[nodiscard]] fine_outcome run_fine_detection(
+    measurement_plan& plan, const os::mapping_region& buffer,
+    const domain_knowledge& knowledge, const coarse_result& coarse,
+    const std::vector<std::uint64_t>& bank_functions, rng& r,
+    const fine_config& config = {});
+
+/// Convenience overload with a call-local plan.
 [[nodiscard]] fine_outcome run_fine_detection(
     timing::channel& channel, const os::mapping_region& buffer,
     const domain_knowledge& knowledge, const coarse_result& coarse,

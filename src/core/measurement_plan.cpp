@@ -1,0 +1,409 @@
+#include "core/measurement_plan.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.h"
+
+namespace dramdig::core {
+
+namespace {
+
+/// Canonical (unordered) key for a pair: SBDR is symmetric.
+sim::addr_pair canonical(std::uint64_t a, std::uint64_t b) {
+  return a <= b ? sim::addr_pair{a, b} : sim::addr_pair{b, a};
+}
+
+constexpr double kNoPrior = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+measurement_plan::measurement_plan(timing::channel& channel, plan_config config)
+    : channel_(channel), config_(config) {}
+
+void measurement_plan::reset() {
+  uf_ = union_find{};
+  node_.clear();
+  witnesses_.clear();
+  strict_memo_.clear();
+}
+
+std::size_t measurement_plan::node_of(std::uint64_t addr) {
+  const auto [it, inserted] = node_.try_emplace(addr, 0);
+  if (inserted) it->second = uf_.make_set();
+  return it->second;
+}
+
+pair_relation measurement_plan::relation(std::uint64_t a, std::uint64_t b) {
+  const auto ia = node_.find(a);
+  const auto ib = node_.find(b);
+  if (ia != node_.end() && ib != node_.end() &&
+      uf_.find(ia->second) == uf_.find(ib->second)) {
+    return pair_relation::same_bank;
+  }
+  if (known_cross(a, b) || known_cross(b, a)) return pair_relation::cross_pile;
+  return pair_relation::unknown;
+}
+
+void measurement_plan::record_same_bank(std::uint64_t a, std::uint64_t b) {
+  if (!config_.reuse_verdicts) return;
+  if (uf_.unite(node_of(a), node_of(b)).merged) ++stats_.classes_merged;
+}
+
+void measurement_plan::record_negative(std::uint64_t pivot,
+                                       std::uint64_t partner) {
+  if (!config_.reuse_verdicts || !config_.negative_edges) return;
+  // Partner side only: witnesses_[x] stays "the pivots that rejected x",
+  // one entry per scan, so every walk is a short linear scan — and the
+  // list doubles as the exact-pair memo. No dedupe needed: scans only
+  // measure pairs the cache could not answer, so a recorded pair is
+  // always new.
+  witnesses_[partner].push_back(pivot);
+  ++stats_.negatives_recorded;
+}
+
+bool measurement_plan::known_cross(std::uint64_t pivot, std::uint64_t x) {
+  const auto lists = witnesses_.find(x);
+  if (lists == witnesses_.end()) return false;
+  // Exact pair measured (or previously derived): reuse that verdict.
+  for (const std::uint64_t w : lists->second) {
+    if (w == pivot) return true;
+  }
+  // Two witnesses in pivot's class that are SBDR-positive with each other
+  // sit in two different rows of one bank; x cannot share a row with both,
+  // so both negatives can only mean a different bank. A fresh pivot
+  // (singleton class) cannot have class witnesses — skip the class walk.
+  const auto pivot_node = node_.find(pivot);
+  if (pivot_node == node_.end()) return false;
+  if (uf_.class_size(pivot_node->second) < 2) return false;
+  const std::size_t pivot_root = uf_.find(pivot_node->second);
+  // Fixed-capacity gather: this runs once per unknown partner in every
+  // pivot scan, so no per-call heap allocation.
+  std::array<std::uint64_t, 12> in_class_buf;
+  std::size_t found = 0;
+  for (const std::uint64_t w : lists->second) {
+    const auto wn = node_.find(w);
+    if (wn != node_.end() && uf_.find(wn->second) == pivot_root) {
+      in_class_buf[found++] = w;
+      if (found == in_class_buf.size()) break;  // bound the pairwise search
+    }
+  }
+  const std::span<const std::uint64_t> in_class(in_class_buf.data(), found);
+  for (std::size_t i = 0; i < in_class.size(); ++i) {
+    for (std::size_t j = i + 1; j < in_class.size(); ++j) {
+      const auto hit =
+          strict_memo_.find(canonical(in_class[i], in_class[j]));
+      if (hit != strict_memo_.end() && hit->second) {
+        // Memoize the derived fact as an exact-pair negative so future
+        // queries answer from the pair set.
+        record_negative(pivot, x);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<char> measurement_plan::verify_strict(
+    std::span<const sim::addr_pair> pairs, std::span<const double> prior) {
+  DRAMDIG_EXPECTS(channel_.calibrated());
+  DRAMDIG_EXPECTS(prior.empty() || prior.size() == pairs.size());
+  const unsigned full = channel_.strict_samples();
+  // One fresh sample per pair is replaced by the caller's prior (the fast
+  // scan's reading of the very same pair) when reuse is on. The prior is
+  // conditioned positive, so refutation rests on the remaining full-1
+  // fresh samples — see plan_config::reuse_scan_sample for the tradeoff.
+  std::vector<unsigned> fresh(pairs.size(), full);
+  if (config_.reuse_scan_sample && !prior.empty()) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (prior[i] == prior[i]) {  // non-NaN: a sample exists to reuse
+        fresh[i] = full - 1;
+        ++stats_.measurements_saved;
+      }
+    }
+  }
+  std::vector<sim::addr_pair> expanded;
+  expanded.reserve(pairs.size() * full);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    for (unsigned k = 0; k < fresh[i]; ++k) expanded.push_back(pairs[i]);
+  }
+  const std::vector<double> latencies = channel_.measure_batch(expanded);
+  stats_.measurements_issued += expanded.size();
+
+  std::vector<char> out(pairs.size());
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    double lowest = fresh[i] < full ? prior[i] : 1e300;
+    for (unsigned k = 0; k < fresh[i]; ++k) {
+      lowest = std::min(lowest, latencies[at++]);
+    }
+    out[i] = lowest > channel_.threshold_ns() ? 1 : 0;
+  }
+  return out;
+}
+
+std::vector<char> measurement_plan::is_sbdr_strict_batch(
+    std::span<const sim::addr_pair> pairs) {
+  if (!config_.reuse_verdicts) {
+    stats_.measurements_issued += pairs.size() * channel_.strict_samples();
+    return channel_.is_sbdr_strict_batch(pairs);
+  }
+  std::vector<sim::addr_pair> fresh;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const sim::addr_pair key = canonical(pairs[i].first, pairs[i].second);
+    if (strict_memo_.contains(key)) {
+      stats_.measurements_saved += channel_.strict_samples();
+      continue;
+    }
+    // Memoize a placeholder so duplicates inside this batch dedupe too;
+    // the real verdict overwrites it below, before the output pass reads.
+    strict_memo_.emplace(key, 0);
+    fresh.push_back(pairs[i]);
+  }
+  const std::vector<char> verdicts = verify_strict(fresh, {});
+  for (std::size_t j = 0; j < fresh.size(); ++j) {
+    const auto& [a, b] = fresh[j];
+    strict_memo_[canonical(a, b)] = verdicts[j];
+    // A strict positive proves same-bank; a strict negative proves nothing
+    // about banks here (vote pairs are often same-bank by construction),
+    // so only the memo keeps it.
+    if (verdicts[j]) record_same_bank(a, b);
+  }
+  // Single output pass: every verdict (cached, fresh, duplicate) now
+  // lives in the memo.
+  std::vector<char> out(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    out[i] = strict_memo_.at(canonical(pairs[i].first, pairs[i].second));
+  }
+  return out;
+}
+
+measurement_plan::scan_outcome measurement_plan::classify_partners(
+    std::uint64_t pivot, std::span<const std::uint64_t> partners,
+    const scan_options& options) {
+  DRAMDIG_EXPECTS(channel_.calibrated());
+  scan_outcome out;
+  out.member.assign(partners.size(), 0);
+
+  if (!config_.reuse_verdicts) {
+    // Transparent pass-through: exactly the pre-scheduler scan sequence.
+    const std::vector<char> fast = channel_.is_sbdr_fast_batch(pivot, partners);
+    stats_.measurements_issued += partners.size();
+    if (!options.verify_positives) {
+      out.member.assign(fast.begin(), fast.end());
+      return out;
+    }
+    std::vector<sim::addr_pair> candidates;
+    std::vector<std::size_t> candidate_idx;
+    for (std::size_t i = 0; i < partners.size(); ++i) {
+      if (fast[i]) {
+        candidates.emplace_back(pivot, partners[i]);
+        candidate_idx.push_back(i);
+      }
+    }
+    stats_.measurements_issued += candidates.size() * channel_.strict_samples();
+    const std::vector<char> strict = channel_.is_sbdr_strict_batch(candidates);
+    for (std::size_t j = 0; j < strict.size(); ++j) {
+      out.member[candidate_idx[j]] = strict[j];
+    }
+    return out;
+  }
+
+  // ---- Stage 0: answer what the cache already implies. ------------------
+  // Directional queries only: a partner's witness list is short (one entry
+  // per scan that rejected it), while the pivot's own list covers
+  // everything it ever scanned — walking the latter per partner would make
+  // this stage quadratic in the pool.
+  const unsigned strict_cost = channel_.strict_samples();
+  const auto pivot_node = node_.find(pivot);
+  const std::size_t pivot_root =
+      pivot_node != node_.end() ? uf_.find(pivot_node->second) : 0;
+
+  // The pivot's own witness list (pivots that rejected it while it was a
+  // partner — short by construction) answers two queries per scan:
+  //  * exact pairs in the reverse direction (a former pivot among the
+  //    partners that once rejected this pivot), via `rejected_by`;
+  //  * the reverse two-witness rule: if two SBDR-positive-linked
+  //    (row-distinct) members of a partner's class rejected this pivot
+  //    earlier, the pivot provably sits in another bank. Grouped by class
+  //    root so each partner costs one lookup.
+  std::unordered_map<std::size_t, std::vector<std::uint64_t>> rejecters;
+  const std::vector<std::uint64_t>* rejected_by = nullptr;
+  const auto pivot_witnesses = witnesses_.find(pivot);
+  if (pivot_witnesses != witnesses_.end()) {
+    rejected_by = &pivot_witnesses->second;
+    for (const std::uint64_t w : pivot_witnesses->second) {
+      const auto wn = node_.find(w);
+      if (wn != node_.end()) {
+        rejecters[uf_.find(wn->second)].push_back(w);
+      }
+    }
+  }
+  const auto reverse_cross = [&](std::size_t partner_root,
+                                 std::uint64_t partner) {
+    const auto hit = rejecters.find(partner_root);
+    if (hit == rejecters.end() || hit->second.size() < 2) return false;
+    const std::vector<std::uint64_t>& ws = hit->second;
+    const std::size_t bound = std::min<std::size_t>(ws.size(), 12);
+    for (std::size_t i = 0; i < bound; ++i) {
+      for (std::size_t j = i + 1; j < bound; ++j) {
+        const auto link = strict_memo_.find(canonical(ws[i], ws[j]));
+        if (link != strict_memo_.end() && link->second) {
+          // Memoize the derived fact as an exact-pair negative.
+          record_negative(pivot, partner);
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  std::vector<std::size_t>& unknown_idx = scratch_.unknown_idx;
+  unknown_idx.clear();
+  unknown_idx.reserve(partners.size());
+  std::size_t members = 0;
+  for (std::size_t i = 0; i < partners.size(); ++i) {
+    const auto partner_node = node_.find(partners[i]);
+    const std::size_t partner_root =
+        partner_node != node_.end() ? uf_.find(partner_node->second) : 0;
+    if (pivot_node != node_.end() && partner_node != node_.end() &&
+        partner_root == pivot_root) {
+      out.member[i] = 1;
+      ++members;
+      ++out.reused;
+      // What re-measuring this member in place would cost: the fast
+      // sample plus the strict verification — minus the sample the min
+      // filter would have folded back in when reuse is on.
+      stats_.measurements_saved +=
+          1 + (options.verify_positives
+                   ? strict_cost - (config_.reuse_scan_sample ? 1 : 0)
+                   : 0);
+    } else if (known_cross(pivot, partners[i]) ||
+               (rejected_by != nullptr &&
+                std::find(rejected_by->begin(), rejected_by->end(),
+                          partners[i]) != rejected_by->end()) ||
+               (partner_node != node_.end() &&
+                reverse_cross(partner_root, partners[i]))) {
+      ++out.reused;
+      ++stats_.measurements_saved;
+    } else {
+      unknown_idx.push_back(i);
+    }
+  }
+
+  // Measure a subset of unknowns (single sample each, keeping the raw
+  // latency so the strict pass can fold it into its min filter), record
+  // the verdicts, and strict-verify the positives. Shared by the
+  // pre-screen sample and the full scan.
+  const auto scan_subset = [&](const std::vector<std::size_t>& subset)
+      -> std::size_t {  // returns members found (post-verification)
+    std::vector<sim::addr_pair>& pairs = scratch_.pairs;
+    pairs.clear();
+    pairs.reserve(subset.size());
+    for (const std::size_t i : subset) pairs.emplace_back(pivot, partners[i]);
+    const std::vector<double> fast = channel_.measure_batch(pairs);
+    stats_.measurements_issued += subset.size();
+    std::vector<sim::addr_pair>& candidates = scratch_.candidates;
+    std::vector<std::size_t>& candidate_idx = scratch_.candidate_idx;
+    std::vector<double>& prior = scratch_.prior;
+    candidates.clear();
+    candidate_idx.clear();
+    prior.clear();
+    for (std::size_t j = 0; j < subset.size(); ++j) {
+      if (fast[j] > channel_.threshold_ns()) {
+        candidates.push_back(pairs[j]);
+        candidate_idx.push_back(subset[j]);
+        prior.push_back(fast[j]);
+      } else {
+        record_negative(pivot, partners[subset[j]]);
+      }
+    }
+    if (!options.verify_positives) {
+      for (const std::size_t i : candidate_idx) {
+        out.member[i] = 1;
+        ++members;
+      }
+      return candidates.size();
+    }
+    const std::vector<char> strict = verify_strict(candidates, prior);
+    std::size_t verified = 0;
+    for (std::size_t j = 0; j < strict.size(); ++j) {
+      const std::size_t i = candidate_idx[j];
+      if (strict[j]) {
+        out.member[i] = 1;
+        ++members;
+        ++verified;
+        record_same_bank(pivot, partners[i]);
+        strict_memo_[canonical(pivot, partners[i])] = 1;
+      } else {
+        // The fast positive was contamination; the min filter refuted it.
+        record_negative(pivot, partners[i]);
+      }
+    }
+    return verified;
+  };
+
+  // ---- Stage 1: adaptive pivot pre-screen. ------------------------------
+  // Sample enough unknowns to project the pile size; if the projection
+  // falls outside the acceptance window beyond sampling error, reject the
+  // pivot without paying for the full scan. The sample grows with the
+  // unknown count so the binomial slack stays decisive on large pools.
+  std::vector<char>& sampled = scratch_.sampled;
+  sampled.assign(partners.size(), 0);
+  bool any_sampled = false;
+  if (options.prescreen_sample > 0 &&
+      unknown_idx.size() >= 4ull * options.prescreen_sample) {
+    const std::size_t n = std::max<std::size_t>(options.prescreen_sample,
+                                                unknown_idx.size() / 8);
+    std::vector<std::size_t>& sample = scratch_.sample;
+    sample.clear();
+    sample.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t i = unknown_idx[j * unknown_idx.size() / n];
+      sample.push_back(i);
+      sampled[i] = 1;
+    }
+    any_sampled = true;
+    // Project from the post-verification member rate: the raw fast-positive
+    // rate rides up with contamination during a burst and would reject
+    // in-window pivots.
+    const std::size_t sample_members = scan_subset(sample);
+
+    const double rest =
+        static_cast<double>(unknown_idx.size() - sample.size());
+    const double rate = (static_cast<double>(sample_members) + 0.5) /
+                        (static_cast<double>(sample.size()) + 1.0);
+    const double projected_rest = rest * rate;
+    const double slack =
+        options.prescreen_z * rest *
+            std::sqrt(rate * (1.0 - rate) /
+                      static_cast<double>(sample.size())) +
+        1.0;
+    // Window on the final pile size (members + pivot).
+    const double need_lo =
+        std::max(0.0, options.window.lo - 1.0 - static_cast<double>(members));
+    const double need_hi =
+        options.window.hi - 1.0 - static_cast<double>(members);
+    if (projected_rest - slack > need_hi || projected_rest + slack < need_lo) {
+      ++stats_.prescreen_rejections;
+      stats_.measurements_saved +=
+          static_cast<std::uint64_t>(rest);  // the skipped fast scan
+      out.prescreen_rejected = true;
+      return out;
+    }
+  }
+
+  // ---- Stage 2: full scan of the remaining unknowns. --------------------
+  std::vector<std::size_t>& remaining = scratch_.remaining;
+  remaining.clear();
+  remaining.reserve(unknown_idx.size());
+  for (const std::size_t i : unknown_idx) {
+    if (!any_sampled || !sampled[i]) remaining.push_back(i);
+  }
+  (void)scan_subset(remaining);
+  return out;
+}
+
+}  // namespace dramdig::core

@@ -1,0 +1,202 @@
+// The measurement-reuse scheduler: a persistent pair-verdict cache that
+// sits between the pipeline stages (partition, coarse/fine votes) and the
+// timing channel, so that no measurement budget is spent re-deriving a
+// relation the tool already proved.
+//
+// Same-bank is an equivalence relation, and the channel's verdicts carry
+// it: a strict (min-filtered) SBDR positive proves two addresses share a
+// bank, so their classes merge in a union-find. Negatives are subtler — a
+// negative only proves "different bank OR same row as the measuring
+// pivot" — so they are recorded as per-address witness lists and promoted
+// to a cross-bank proof only when it is airtight:
+//  * the exact pair was measured before (reusing that verdict verbatim), or
+//  * the address measured negative against two witnesses of the class that
+//    are SBDR-positive with each other. Two positives mean two different
+//    rows; an address cannot share a row with both, so the only remaining
+//    explanation is a different bank.
+// Every future pivot scan pre-filters its partner list down to pairs whose
+// relation is not already implied. The scan a rejected pivot paid for is
+// never wasted again: the next pivot drawn from the same (now accreted)
+// class gets the members for free, and by the second re-scan the witness
+// pairs make the negatives free too — measured work per scan drops
+// superlinearly as classes accrete.
+//
+// Only strict verdicts merge classes or serve as the positive witness
+// links: single-sample scan positives can be contamination and stay
+// scan-local until verified (contamination is one-sided, so single-sample
+// *negatives* are reliable enough to act as witnesses).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "timing/channel.h"
+#include "util/union_find.h"
+
+namespace dramdig::core {
+
+/// Cached relation between two physical addresses.
+enum class pair_relation : unsigned char {
+  unknown,    ///< never measured, directly or transitively
+  same_bank,  ///< classes merged by strict positives
+  cross_pile, ///< proven not-SBDR (exact pair, or two row-distinct witnesses)
+};
+
+struct plan_config {
+  /// Master switch: false turns the plan into a transparent pass-through
+  /// to the channel (the cache-off baseline benchmarked in BENCH_micro).
+  bool reuse_verdicts = true;
+  /// Track negative witnesses from scan negatives. Contamination is
+  /// one-sided (it only inflates latencies), so negatives are reliable.
+  bool negative_edges = true;
+  /// Let the fast-scan sample count toward the strict min filter, saving
+  /// one measurement per verified candidate. Tradeoff, stated plainly:
+  /// the reused sample is conditioned positive (that is why the pair is
+  /// being verified), so it can never refute — the filter keeps k-1
+  /// refutation chances instead of k, and a contaminated cross-bank pair
+  /// survives with probability q^(k-1) instead of q^k (q = contamination
+  /// rate, k = channel::strict_samples()). Negligible at the modeled
+  /// rates (q <= 0.04 steady state: < 7e-6 per candidate), and the pile
+  /// delta window plus the numbering check backstop the burst regime —
+  /// in exchange every scan saves one measurement per verified member.
+  bool reuse_scan_sample = true;
+};
+
+struct plan_stats {
+  std::uint64_t measurements_issued = 0;  ///< sent to the controller
+  /// Verdicts answered from the cache, valued at what re-measuring them in
+  /// place would have cost. Repeat scans re-count their reuse — an
+  /// activity meter, not a cross-run delta.
+  std::uint64_t measurements_saved = 0;
+  std::uint64_t classes_merged = 0;
+  std::uint64_t negatives_recorded = 0;   ///< witness entries added
+  std::uint64_t prescreen_rejections = 0;  ///< pivots rejected from a sample
+};
+
+/// Pile-size acceptance window for a pivot scan (counts include the
+/// pivot), used by the adaptive pre-screen to project whether a full scan
+/// is worth paying for.
+struct scan_window {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Options for one partition pivot scan.
+struct scan_options {
+  bool verify_positives = true;  ///< strict re-check of scan positives
+  /// Pre-screen: sample this many unknown partners first and reject the
+  /// pivot early when the projected pile size falls outside the window
+  /// beyond sampling error. 0 disables the pre-screen.
+  unsigned prescreen_sample = 0;
+  /// Confidence multiplier for the pre-screen's binomial slack; rejections
+  /// only fire when the projection is wrong beyond z standard deviations
+  /// (plus one count of slack), so in-window pivots are almost never lost.
+  double prescreen_z = 2.5;
+  scan_window window;
+};
+
+class measurement_plan {
+ public:
+  explicit measurement_plan(timing::channel& channel, plan_config config = {});
+
+  [[nodiscard]] timing::channel& channel() noexcept { return channel_; }
+  [[nodiscard]] const plan_config& config() const noexcept { return config_; }
+  [[nodiscard]] const plan_stats& stats() const noexcept { return stats_; }
+
+  /// Relation currently implied by the cache (never measures).
+  [[nodiscard]] pair_relation relation(std::uint64_t a, std::uint64_t b);
+
+  /// Strict SBDR verdicts with exact-pair memoization: repeated pairs are
+  /// answered from the memo, fresh pairs are measured in one channel batch
+  /// and recorded (positives also merge classes). Drop-in replacement for
+  /// channel::is_sbdr_strict_batch in the vote loops.
+  [[nodiscard]] std::vector<char> is_sbdr_strict_batch(
+      std::span<const sim::addr_pair> pairs);
+
+  /// One partition pivot scan: classify every partner as pile member or
+  /// not. Cached relations are answered for free; unknown partners get a
+  /// single-sample scan (optionally pre-screened), positives are
+  /// strict-verified, and every verdict feeds the cache.
+  struct scan_outcome {
+    /// Per-partner membership verdict; meaningless when prescreen_rejected.
+    std::vector<char> member;
+    bool prescreen_rejected = false;
+    std::uint64_t reused = 0;  ///< partner verdicts answered from the cache
+  };
+  [[nodiscard]] scan_outcome classify_partners(
+      std::uint64_t pivot, std::span<const std::uint64_t> partners,
+      const scan_options& options);
+
+  /// Distinct same-bank classes currently tracked (for tests/benches).
+  [[nodiscard]] std::size_t class_count() const noexcept {
+    return uf_.set_count();
+  }
+
+  /// Drop every cached relation (classes, witnesses, strict memo) while
+  /// keeping the cumulative stats. Merges are permanent by design, so a
+  /// burst-window false positive that slipped past the min filter would
+  /// otherwise poison every later scan — the pipeline's retry loop calls
+  /// this so each attempt re-measures from scratch, exactly like the
+  /// pre-scheduler code recovered.
+  void reset();
+
+ private:
+  /// Union-find node for an address, created on first sight.
+  std::size_t node_of(std::uint64_t addr);
+
+  /// Record a strict positive: merge classes.
+  void record_same_bank(std::uint64_t a, std::uint64_t b);
+  /// Record a scan negative: exact pair plus a witness entry on the
+  /// partner ("this pivot rejected it").
+  void record_negative(std::uint64_t pivot, std::uint64_t partner);
+  /// True when not-SBDR(pivot, x) is proven: the exact pair was measured
+  /// negative, or x has two SBDR-positive-linked witnesses in pivot's
+  /// class (two different rows of one bank both rejected x).
+  [[nodiscard]] bool known_cross(std::uint64_t pivot, std::uint64_t x);
+
+  /// Strict-verify `pairs` with `prior` single-sample latencies folded into
+  /// the min filter (NaN prior = no sample to reuse). Returns verdicts.
+  [[nodiscard]] std::vector<char> verify_strict(
+      std::span<const sim::addr_pair> pairs, std::span<const double> prior);
+
+  timing::channel& channel_;
+  plan_config config_;
+  plan_stats stats_;
+
+  union_find uf_;
+  std::unordered_map<std::uint64_t, std::size_t> node_;
+  /// Pivots that measured the key not-SBDR, in recording order — one entry
+  /// per scan that rejected the address, so the lists stay short and
+  /// double as the exact-pair negative memo (a hash set over all pairs
+  /// costs more to maintain than these scans ever save).
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> witnesses_;
+
+  struct pair_key_hash {
+    std::size_t operator()(const sim::addr_pair& p) const noexcept {
+      const std::uint64_t h = (p.first * 0x9e3779b97f4a7c15ull) ^
+                              (p.second + 0x9e3779b97f4a7c15ull +
+                               (p.first << 6) + (p.first >> 2));
+      return static_cast<std::size_t>(h * 0xff51afd7ed558ccdull);
+    }
+  };
+  /// Exact-pair memo of strict verdicts (canonical min/max key).
+  std::unordered_map<sim::addr_pair, char, pair_key_hash> strict_memo_;
+
+  /// Scan scratch reused across classify_partners calls: one reservation
+  /// per pool size keeps the O(pool * banks) scans allocation-free in
+  /// steady state.
+  struct scan_scratch {
+    std::vector<std::size_t> unknown_idx;
+    std::vector<std::size_t> remaining;
+    std::vector<std::size_t> sample;
+    std::vector<char> sampled;
+    std::vector<sim::addr_pair> pairs;
+    std::vector<std::size_t> candidate_idx;
+    std::vector<sim::addr_pair> candidates;
+    std::vector<double> prior;
+  } scratch_;
+};
+
+}  // namespace dramdig::core

@@ -7,7 +7,7 @@
 
 namespace dramdig::core {
 
-partition_outcome partition_pool(timing::channel& channel,
+partition_outcome partition_pool(measurement_plan& plan,
                                  std::vector<std::uint64_t> pool,
                                  unsigned bank_count, rng& r,
                                  const partition_config& config) {
@@ -26,18 +26,21 @@ partition_outcome partition_pool(timing::channel& channel,
                                     ? config.max_pivot_attempts
                                     : 4 * bank_count + 32;
 
-  // Scratch buffers reused across pivot attempts: one reservation per call
-  // keeps the O(pool * banks) scan allocation-free in steady state.
+  scan_options scan{};
+  scan.verify_positives = config.verify_positives;
+  scan.prescreen_sample = config.prescreen_sample;
+  scan.prescreen_z = config.prescreen_z;
+  scan.window = {lo, hi};
+
+  // Partner-list buffers reused across pivot attempts; the plan reuses
+  // its own scratch for the large per-scan buffers too, so the
+  // O(pool * banks) loop allocates only small per-scan bookkeeping.
   std::vector<std::uint64_t> partners;
   std::vector<std::size_t> partner_idx;
-  std::vector<std::size_t> candidates;
   std::vector<std::size_t> members;
-  std::vector<sim::addr_pair> verify_pairs;
   partners.reserve(pool.size());
   partner_idx.reserve(pool.size());
-  candidates.reserve(pool.size());
   members.reserve(pool.size());
-  verify_pairs.reserve(pool.size());
 
   unsigned attempts = 0;
   while (pool.size() > stop_at) {
@@ -49,34 +52,29 @@ partition_outcome partition_pool(timing::channel& channel,
     const std::size_t pivot_idx = r.below(pool.size());
     const std::uint64_t pivot = pool[pivot_idx];
 
-    // Fast scan: one sample per pair, serviced by the controller as a
-    // single batch (same verdicts and noise consumption as a scalar loop).
+    // One scan through the scheduler: cached relations are free, unknown
+    // partners get the single-sample scan, positives the strict min-filter
+    // re-check — so a contaminated sample, or a whole background-load
+    // burst, cannot plant a wrong-bank address in the pile. A single
+    // polluted pile would erase a true function from Algorithm 3's
+    // intersection.
     partners.clear();
     partner_idx.clear();
-    candidates.clear();
     members.clear();
     for (std::size_t i = 0; i < pool.size(); ++i) {
       if (i == pivot_idx) continue;
       partners.push_back(pool[i]);
       partner_idx.push_back(i);
     }
-    const std::vector<char> fast = channel.is_sbdr_fast_batch(pivot, partners);
-    for (std::size_t j = 0; j < fast.size(); ++j) {
-      if (fast[j]) candidates.push_back(partner_idx[j]);
+    const auto verdict = plan.classify_partners(pivot, partners, scan);
+    out.reused_verdicts += verdict.reused;
+    if (verdict.prescreen_rejected) {
+      ++out.rejected_piles;
+      ++out.prescreen_rejections;
+      continue;
     }
-    // Verification pass: positives re-measured with the min filter so a
-    // contaminated sample — or a whole background-load burst — cannot
-    // plant a wrong-bank address in the pile. A single polluted pile
-    // would erase a true function from Algorithm 3's intersection.
-    if (config.verify_positives) {
-      verify_pairs.clear();
-      for (std::size_t i : candidates) verify_pairs.emplace_back(pivot, pool[i]);
-      const std::vector<char> strict = channel.is_sbdr_strict_batch(verify_pairs);
-      for (std::size_t j = 0; j < strict.size(); ++j) {
-        if (strict[j]) members.push_back(candidates[j]);
-      }
-    } else {
-      members.swap(candidates);
+    for (std::size_t j = 0; j < verdict.member.size(); ++j) {
+      if (verdict.member[j]) members.push_back(partner_idx[j]);
     }
 
     // Pile size counts the pivot: the pile *is* a bank-sized class, and on
@@ -107,8 +105,18 @@ partition_outcome partition_pool(timing::channel& channel,
   out.success = true;
   log_info("partition: " + std::to_string(out.piles.size()) + " piles, " +
            std::to_string(out.partitioned) + "/" + std::to_string(pool_sz) +
-           " assigned, " + std::to_string(out.rejected_piles) + " rejected");
+           " assigned, " + std::to_string(out.rejected_piles) + " rejected (" +
+           std::to_string(out.prescreen_rejections) + " pre-screened), " +
+           std::to_string(out.reused_verdicts) + " verdicts reused");
   return out;
+}
+
+partition_outcome partition_pool(timing::channel& channel,
+                                 std::vector<std::uint64_t> pool,
+                                 unsigned bank_count, rng& r,
+                                 const partition_config& config) {
+  measurement_plan plan(channel);
+  return partition_pool(plan, std::move(pool), bank_count, r, config);
 }
 
 }  // namespace dramdig::core

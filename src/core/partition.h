@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/measurement_plan.h"
 #include "timing/channel.h"
 #include "util/rng.h"
 
@@ -31,6 +32,14 @@ struct partition_config {
   double per_threshold = 0.85;  ///< stop when this fraction is partitioned
   unsigned max_pivot_attempts = 0;  ///< 0 = 4 * #banks + 32
   bool verify_positives = true;     ///< strict re-check of scan positives
+  /// Adaptive pivot pre-screen: sample this many unknown partners (scaled
+  /// up on large pools) and reject the pivot before the full scan when the
+  /// projected pile size falls outside the delta window beyond sampling
+  /// error. 0 disables. Chiefly pays off when the assumed bank count is
+  /// wrong (the knowledge-ablation sweep) — every such pivot scan is
+  /// doomed, and the pre-screen prices that in at ~1/8 of a scan.
+  unsigned prescreen_sample = 64;
+  double prescreen_z = 2.5;  ///< binomial slack multiplier for rejections
 };
 
 struct partition_outcome {
@@ -39,8 +48,22 @@ struct partition_outcome {
   std::vector<std::vector<std::uint64_t>> piles;
   std::size_t partitioned = 0;  ///< addresses assigned to piles
   unsigned rejected_piles = 0;  ///< piles outside the delta window
+  unsigned prescreen_rejections = 0;  ///< rejected before a full scan
+  /// Partner verdicts answered from the measurement-reuse cache instead of
+  /// fresh measurements, across every scan of this call.
+  std::uint64_t reused_verdicts = 0;
 };
 
+/// Primary interface: scans go through the measurement-reuse scheduler,
+/// which pre-filters partners whose relation the cache already implies and
+/// keeps every verdict for future calls (the plan may be shared across
+/// partition attempts and pipeline stages).
+[[nodiscard]] partition_outcome partition_pool(
+    measurement_plan& plan, std::vector<std::uint64_t> pool,
+    unsigned bank_count, rng& r, const partition_config& config = {});
+
+/// Convenience overload: a call-local plan (the cache still dedupes work
+/// across the pivots of this one call).
 [[nodiscard]] partition_outcome partition_pool(
     timing::channel& channel, std::vector<std::uint64_t> pool,
     unsigned bank_count, rng& r, const partition_config& config = {});

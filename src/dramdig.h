@@ -21,6 +21,7 @@
 #include "baselines/xiao.h"      // IWYU pragma: export
 #include "core/dramdig.h"        // IWYU pragma: export
 #include "core/environment.h"    // IWYU pragma: export
+#include "core/measurement_plan.h"  // IWYU pragma: export
 #include "dram/mapping.h"        // IWYU pragma: export
 #include "dram/presets.h"        // IWYU pragma: export
 #include "dram/spec.h"           // IWYU pragma: export

@@ -105,12 +105,65 @@ memory_controller::decoded_pair memory_controller::decode_pair(
   return d;
 }
 
+memory_controller::access_tally memory_controller::tally_closed_form(
+    const decoded_pair& d, unsigned rounds) const {
+  access_tally t;
+  const auto add = [&t](touch k, std::uint64_t n) {
+    switch (k) {
+      case touch::hit: t.hits += n; break;
+      case touch::closed: t.closed += n; break;
+      case touch::conflict: t.conflicts += n; break;
+    }
+  };
+  // First access to p1 sees the pre-measurement state; the first access to
+  // p2 then sees bank1 holding row1 (relevant only when the banks match).
+  add(classify(open_rows_[d.bank1], d.row1), 1);
+  if (d.bank2 == d.bank1) {
+    add(d.row2 == d.row1 ? touch::hit : touch::conflict, 1);
+  } else {
+    add(classify(open_rows_[d.bank2], d.row2), 1);
+  }
+  // From the third access on, both banks hold the pair's rows: different
+  // banks (or a shared row buffer) hit every time, same-bank-different-row
+  // conflicts every time.
+  const bool steady_hit = d.bank1 != d.bank2 || d.row1 == d.row2;
+  add(steady_hit ? touch::hit : touch::conflict, 2ull * rounds - 2);
+  return t;
+}
+
+memory_controller::access_tally memory_controller::tally_access_loop(
+    const decoded_pair& d, unsigned rounds) {
+  access_tally t;
+  for (std::uint64_t i = 0; i < 2ull * rounds; ++i) {
+    const bool second = (i & 1) != 0;
+    const std::uint64_t bank = second ? d.bank2 : d.bank1;
+    const std::uint64_t row = second ? d.row2 : d.row1;
+    open_row& slot = open_rows_[bank];
+    switch (classify(slot, row)) {
+      case touch::hit: ++t.hits; break;
+      case touch::closed: ++t.closed; break;
+      case touch::conflict: ++t.conflicts; break;
+    }
+    slot = {row, true};
+  }
+  return t;
+}
+
 pair_measurement memory_controller::finish_measurement(const decoded_pair& d,
                                                        unsigned rounds) {
-  // Mean of 2*rounds iid Gaussian samples around the steady state.
-  const double sigma_mean =
-      timing_.access_noise_sigma_ns / std::sqrt(2.0 * rounds);
-  double observed = d.ideal_ns + rng_.gaussian(0.0, sigma_mean);
+  const access_tally t = timing_.closed_form_accounting
+                             ? tally_closed_form(d, rounds)
+                             : tally_access_loop(d, rounds);
+  const double accesses = 2.0 * static_cast<double>(rounds);
+  const double mean_base = (static_cast<double>(t.hits) * timing_.row_hit_ns +
+                            static_cast<double>(t.closed) * timing_.row_closed_ns +
+                            static_cast<double>(t.conflicts) *
+                                timing_.row_conflict_ns) /
+                           accesses;
+
+  // Mean of 2*rounds iid Gaussian samples around the loop's mean latency.
+  const double sigma_mean = timing_.access_noise_sigma_ns / std::sqrt(accesses);
+  double observed = mean_base + rng_.gaussian(0.0, sigma_mean);
 
   // Heavy-tail contamination: a scheduler preemption or refresh burst
   // inflates part of the loop; modelled as a uniform positive shift. The
@@ -121,16 +174,21 @@ pair_measurement memory_controller::finish_measurement(const decoded_pair& d,
     contaminated = true;
   }
 
-  // Charge the virtual clock for the whole measurement loop.
-  const double per_access =
-      d.ideal_ns + timing_.clflush_ns + timing_.loop_overhead_ns;
-  clock_.advance_ns(static_cast<std::uint64_t>(
-      2.0 * static_cast<double>(rounds) * per_access));
+  // Charge the virtual clock for the whole measurement loop. Each access
+  // charges a truncated integer, so the aggregate below equals a
+  // per-access advance_ns sequence exactly — on any timing preset.
+  const auto charge = [this](double base) {
+    return static_cast<std::uint64_t>(base + timing_.clflush_ns +
+                                      timing_.loop_overhead_ns);
+  };
+  clock_.advance_ns(t.hits * charge(timing_.row_hit_ns) +
+                    t.closed * charge(timing_.row_closed_ns) +
+                    t.conflicts * charge(timing_.row_conflict_ns));
   access_count_ += 2ull * rounds;
   ++measurement_count_;
 
   // The row-buffer state after an alternating loop: both banks hold the
-  // last-touched rows.
+  // last-touched rows (p2's row wins a shared bank, matching access order).
   open_rows_[d.bank1] = {d.row1, true};
   open_rows_[d.bank2] = {d.row2, true};
 

@@ -95,8 +95,37 @@ class memory_controller {
     bool open = false;
   };
 
+  /// How many of a measurement's 2*rounds accesses landed in each
+  /// row-buffer situation. Produced either analytically (closed form) or
+  /// by replaying the access loop; the stochastic tail only consumes the
+  /// counts, so both producers yield bit-identical measurements.
+  struct access_tally {
+    std::uint64_t hits = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t conflicts = 0;
+  };
+
+  /// One access's row-buffer situation against a bank's current state.
+  enum class touch { closed, hit, conflict };
+  [[nodiscard]] static touch classify(const open_row& slot,
+                                      std::uint64_t row) noexcept {
+    if (!slot.open) return touch::closed;
+    return slot.row == row ? touch::hit : touch::conflict;
+  }
+
   [[nodiscard]] decoded_pair decode_pair(std::uint64_t p1,
                                          std::uint64_t p2) const;
+
+  /// O(1) tally: the first access to each address is classified against
+  /// the pre-measurement row-buffer state, every later access sits in the
+  /// alternating steady state.
+  [[nodiscard]] access_tally tally_closed_form(const decoded_pair& d,
+                                               unsigned rounds) const;
+
+  /// O(rounds) oracle: walk all 2*rounds alternating accesses through the
+  /// live row-buffer table, updating it per access.
+  [[nodiscard]] access_tally tally_access_loop(const decoded_pair& d,
+                                               unsigned rounds);
 
   /// The stochastic tail of one measurement: noise draws, clock charge,
   /// counters and row-buffer update. Must run in submission order.

@@ -34,6 +34,17 @@ struct timing_model {
   /// for pair measurements but kept for documentation and the viz example.
   double refresh_interval_ns = 7800.0;
   double refresh_stall_ns = 350.0;
+
+  /// Measurement accounting mode. The alternating 2*rounds access loop of
+  /// a pair measurement visits at most three row-buffer situations (first
+  /// touch of each address from the pre-measurement state, then the steady
+  /// state), so its access counts — and therefore its mean latency and
+  /// integer clock charge — have a closed form. `true` (default) computes
+  /// that aggregate in O(1) per measurement; `false` replays every access
+  /// through the row-buffer state machine, the differential-test oracle
+  /// (mirrors function_config::use_nullspace). Both modes draw the same
+  /// rng stream and produce bit-identical results.
+  bool closed_form_accounting = true;
 };
 
 }  // namespace dramdig::sim

@@ -108,7 +108,7 @@ std::vector<char> channel::is_sbdr_fast_batch(
 std::vector<char> channel::is_sbdr_strict_batch(
     std::span<const sim::addr_pair> pairs) {
   DRAMDIG_EXPECTS(calibrated());
-  const unsigned per_pair = config_.samples_per_latency + 2;
+  const unsigned per_pair = strict_samples();
   std::vector<sim::addr_pair> expanded;
   expanded.reserve(pairs.size() * per_pair);
   for (const sim::addr_pair& p : pairs) {

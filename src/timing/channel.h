@@ -77,6 +77,11 @@ class channel {
 
   [[nodiscard]] double threshold_ns() const noexcept { return threshold_ns_; }
   [[nodiscard]] bool calibrated() const noexcept { return threshold_ns_ > 0; }
+  /// Measurements the strict (min-filtered) predicate takes per pair —
+  /// exposed so schedulers layered above can account and partially reuse.
+  [[nodiscard]] unsigned strict_samples() const noexcept {
+    return config_.samples_per_latency + 2;
+  }
   [[nodiscard]] sim::memory_controller& controller() noexcept {
     return controller_;
   }

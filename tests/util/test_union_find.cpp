@@ -1,0 +1,84 @@
+#include "util/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dramdig {
+namespace {
+
+TEST(UnionFind, SingletonsAreDistinct) {
+  union_find uf;
+  const std::size_t a = uf.make_set();
+  const std::size_t b = uf.make_set();
+  EXPECT_EQ(uf.node_count(), 2u);
+  EXPECT_EQ(uf.set_count(), 2u);
+  EXPECT_FALSE(uf.same(a, b));
+  EXPECT_EQ(uf.class_size(a), 1u);
+}
+
+TEST(UnionFind, UniteMergesAndReportsRoots) {
+  union_find uf;
+  const std::size_t a = uf.make_set();
+  const std::size_t b = uf.make_set();
+  const auto first = uf.unite(a, b);
+  EXPECT_TRUE(first.merged);
+  EXPECT_NE(first.winner, first.loser);
+  EXPECT_TRUE(uf.same(a, b));
+  EXPECT_EQ(uf.set_count(), 1u);
+  EXPECT_EQ(uf.class_size(a), 2u);
+  // Re-uniting the same class is a no-op with winner == loser.
+  const auto again = uf.unite(a, b);
+  EXPECT_FALSE(again.merged);
+  EXPECT_EQ(again.winner, again.loser);
+  EXPECT_EQ(uf.set_count(), 1u);
+}
+
+TEST(UnionFind, TransitivityAcrossChains) {
+  union_find uf;
+  std::vector<std::size_t> ids;
+  for (int i = 0; i < 64; ++i) ids.push_back(uf.make_set());
+  // Two interleaved chains: evens and odds.
+  for (int i = 0; i + 2 < 64; ++i) (void)uf.unite(ids[i], ids[i + 2]);
+  EXPECT_EQ(uf.set_count(), 2u);
+  EXPECT_TRUE(uf.same(ids[0], ids[62]));
+  EXPECT_TRUE(uf.same(ids[1], ids[63]));
+  EXPECT_FALSE(uf.same(ids[0], ids[1]));
+  EXPECT_EQ(uf.class_size(ids[0]), 32u);
+  (void)uf.unite(ids[10], ids[11]);
+  EXPECT_EQ(uf.set_count(), 1u);
+  EXPECT_TRUE(uf.same(ids[0], ids[1]));
+}
+
+TEST(UnionFind, DeterministicRegardlessOfQueryOrder) {
+  // find() with path halving must not change any answer, only speed.
+  union_find left, right;
+  for (int i = 0; i < 32; ++i) {
+    (void)left.make_set();
+    (void)right.make_set();
+  }
+  for (int i = 0; i < 31; i += 2) {
+    (void)left.unite(i, i + 1);
+    (void)right.unite(i, i + 1);
+  }
+  // Query `right` heavily before the next unions.
+  for (int i = 0; i < 32; ++i) (void)right.find(i);
+  for (int i = 0; i < 30; i += 4) {
+    (void)left.unite(i, i + 2);
+    (void)right.unite(i, i + 2);
+  }
+  for (int i = 0; i < 32; ++i) {
+    for (int j = 0; j < 32; ++j) {
+      EXPECT_EQ(left.same(i, j), right.same(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(UnionFind, FindRejectsUnknownIds) {
+  union_find uf;
+  (void)uf.make_set();
+  EXPECT_THROW((void)uf.find(1), contract_violation);
+}
+
+}  // namespace
+}  // namespace dramdig
