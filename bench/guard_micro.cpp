@@ -81,18 +81,22 @@ int main(int argc, char** argv) {
   std::string path;
   double min_nullspace = 5.0;
   double min_accounting = 3.0;
+  double min_rep_reduction = 0.25;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--min-nullspace=", 16) == 0) {
       min_nullspace = std::strtod(argv[i] + 16, nullptr);
     } else if (std::strncmp(argv[i], "--min-accounting=", 17) == 0) {
       min_accounting = std::strtod(argv[i] + 17, nullptr);
+    } else if (std::strncmp(argv[i], "--min-rep-reduction=", 20) == 0) {
+      min_rep_reduction = std::strtod(argv[i] + 20, nullptr);
     } else {
       path = argv[i];
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: bench_guard BENCH_micro.json "
-                         "[--min-nullspace=N] [--min-accounting=N]\n");
+    std::fprintf(stderr,
+                 "usage: bench_guard BENCH_micro.json [--min-nullspace=N] "
+                 "[--min-accounting=N] [--min-rep-reduction=F]\n");
     return 2;
   }
   std::ifstream in(path);
@@ -128,6 +132,32 @@ int main(int argc, char** argv) {
   } else {
     std::printf("guard: partition reuse %.0f -> %.0f measurements ok\n", m_off,
                 m_on);
+  }
+
+  // The representative partition driver must keep beating the pivot-scan
+  // loop by at least the floor at every benchmarked bank count — a
+  // regression that silently degrades to full scans shows up here even
+  // while both paths stay correct.
+  check_true(doc, "partition_representatives", "ok", failures);
+  const std::string reduction_text =
+      value_after(doc, "partition_representatives", "min_reduction");
+  if (reduction_text.empty()) {
+    std::fprintf(stderr, "guard: partition_representatives.min_reduction "
+                         "missing\n");
+    ++failures;
+  } else {
+    const double reduction = std::strtod(reduction_text.c_str(), nullptr);
+    if (reduction < min_rep_reduction) {
+      std::fprintf(stderr,
+                   "guard: representative partition saves only %.0f%% vs "
+                   "pivot-scan (floor %.0f%%)\n",
+                   reduction * 100.0, min_rep_reduction * 100.0);
+      ++failures;
+    } else {
+      std::printf("guard: representative partition saves %.0f%% "
+                  "(floor %.0f%%) ok\n",
+                  reduction * 100.0, min_rep_reduction * 100.0);
+    }
   }
 
   if (failures > 0) {

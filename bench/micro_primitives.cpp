@@ -13,6 +13,7 @@
 // config for CI), --out=PATH (default BENCH_micro.json).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <string>
@@ -21,6 +22,7 @@
 #include "core/dramdig.h"
 #include "core/environment.h"
 #include "core/function_detect.h"
+#include "core/probe_util.h"
 #include "dram/presets.h"
 #include "sim/machine.h"
 #include "sim/profiles.h"
@@ -309,6 +311,77 @@ void emit_bench_json(const std::string& path, bool smoke) {
     }
   }
 
+  // Representative engine vs pivot-scan partition at 8/16/32 banks: same
+  // machine, same seed, same pool — only the partition driver differs.
+  // The measurement count is the paper's cost metric; `min_reduction` is
+  // the smallest relative saving across the bank counts and is CI-gated
+  // (bench_guard --min-rep-reduction), so a regression that silently
+  // falls back to full pivot scans fails the build.
+  struct rep_row {
+    unsigned banks = 0;
+    std::string machine;
+    std::uint64_t pivot_measurements = 0;
+    std::uint64_t rep_measurements = 0;
+    bool ok = false;
+  };
+  std::vector<rep_row> rep_rows;
+  for (const unsigned banks : {8u, 16u, 32u}) {
+    const dram::machine_spec* spec = nullptr;
+    for (const dram::machine_spec& m : dram::paper_machines()) {
+      if (m.mapping.bank_count() == banks) {
+        spec = &m;
+        break;
+      }
+    }
+    if (spec == nullptr) continue;
+    rep_row row;
+    row.banks = banks;
+    row.machine = spec->label();
+    row.ok = true;
+    // The pipeline's partition pool: a selection spanning every
+    // function-feeding bit (the coarse "covered" set — shared row bits
+    // included, exactly what Step 2 hands to Algorithm 2).
+    std::uint64_t covered = 0;
+    for (const std::uint64_t f : spec->mapping.bank_functions()) covered |= f;
+    const std::vector<unsigned> bank_bits = bits_of_mask(covered);
+    for (const bool representatives : {false, true}) {
+      core::environment env(*spec, 900 + spec->number);
+      auto& mc = env.mach().controller();
+      const auto& buffer =
+          env.space().map_buffer(spec->memory_bytes * 11 / 20);
+      rng r(31 ^ spec->number);
+      timing::channel channel(mc,
+                              {.rounds_per_measurement = 1000,
+                               .samples_per_latency = 3,
+                               .calibration_pairs = 1200},
+                              rng(7 ^ spec->number));
+      channel.calibrate(core::sample_addresses(buffer, 1024, r));
+      const auto selection = core::select_addresses(buffer, bank_bits);
+      core::measurement_plan plan(channel);
+      core::partition_config cfg{};
+      cfg.use_representatives = representatives;
+      const std::uint64_t before = mc.measurement_count();
+      const auto outcome =
+          core::partition_pool(plan, selection.pool, banks, r, cfg);
+      const std::uint64_t cost = mc.measurement_count() - before;
+      row.ok = row.ok && selection.found && outcome.success;
+      (representatives ? row.rep_measurements : row.pivot_measurements) =
+          cost;
+    }
+    rep_rows.push_back(std::move(row));
+  }
+  const auto rep_reduction = [](const rep_row& row) {
+    return 1.0 - static_cast<double>(row.rep_measurements) /
+                     static_cast<double>(
+                         std::max<std::uint64_t>(row.pivot_measurements, 1));
+  };
+  double min_reduction = 1.0;
+  bool rep_ok = !rep_rows.empty();
+  for (const rep_row& row : rep_rows) {
+    rep_ok = rep_ok && row.ok;
+    min_reduction = std::min(min_reduction, rep_reduction(row));
+  }
+
   // Measurement-reuse scheduler: the same full pipeline run with the
   // verdict cache on vs off — the measurement *count* is the paper's cost
   // metric, the wall times bound the host cost.
@@ -359,6 +432,17 @@ void emit_bench_json(const std::string& path, bool smoke) {
   w.key("wall_speedup").value(loop_wall_s / std::max(closed_wall_s, 1e-9));
   w.key("identical_results").value(accounting_identical);
   w.end_object();
+  w.key("partition_representatives").begin_object();
+  for (const rep_row& row : rep_rows) {
+    const std::string suffix = std::to_string(row.banks);
+    w.key("machine_" + suffix).value(row.machine);
+    w.key("pivot_" + suffix).value(row.pivot_measurements);
+    w.key("representative_" + suffix).value(row.rep_measurements);
+    w.key("ok_" + suffix).value(row.ok);
+  }
+  w.key("ok").value(rep_ok);
+  w.key("min_reduction").value(min_reduction);
+  w.end_object();
   w.key("partition_measurement_reuse").begin_object();
   w.key("machine").value(reuse_spec.label());
   w.key("ok_cache_off").value(report_off.success);
@@ -390,6 +474,14 @@ void emit_bench_json(const std::string& path, bool smoke) {
               pair_count, loop_wall_s, closed_wall_s,
               loop_wall_s / std::max(closed_wall_s, 1e-9),
               accounting_identical ? "yes" : "NO");
+  for (const rep_row& row : rep_rows) {
+    std::printf("partition at %u banks (%s): pivot-scan %llu, representative "
+                "%llu measurements (-%.0f%%)%s\n",
+                row.banks, row.machine.c_str(),
+                static_cast<unsigned long long>(row.pivot_measurements),
+                static_cast<unsigned long long>(row.rep_measurements),
+                100.0 * rep_reduction(row), row.ok ? "" : " [FAILED]");
+  }
   std::printf("measurement reuse on %s: %llu measurements without cache, "
               "%llu with (%llu saved)\n",
               reuse_spec.label().c_str(),

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <bit>
 
+#include "core/classifier.h"
+#include "core/measurement_plan.h"
 #include "core/probe_util.h"
+#include "timing/channel.h"
 #include "util/bitops.h"
 #include "util/combinatorics.h"
 #include "util/expect.h"
@@ -16,12 +19,14 @@ namespace dramdig::baselines {
 namespace {
 
 /// DRAMA's cruder threshold: modal latency of random pairs x a factor.
-double drama_threshold(sim::memory_controller& mc,
+/// Pair draws are independent of the measurements, so the batch is drawn
+/// up front and serviced in one channel pass — bit-identical samples to
+/// the original scalar measure_pair loop.
+double drama_threshold(timing::channel& channel,
                        const std::vector<std::uint64_t>& pool,
-                       unsigned calibration_pairs, unsigned rounds,
-                       double factor, rng& r) {
-  std::vector<double> samples;
-  samples.reserve(calibration_pairs);
+                       unsigned calibration_pairs, double factor, rng& r) {
+  std::vector<sim::addr_pair> pairs;
+  pairs.reserve(calibration_pairs);
   for (unsigned i = 0; i < calibration_pairs; ++i) {
     const std::uint64_t a = pool[r.below(pool.size())];
     const std::uint64_t b = pool[r.below(pool.size())];
@@ -29,8 +34,9 @@ double drama_threshold(sim::memory_controller& mc,
       --i;
       continue;
     }
-    samples.push_back(mc.measure_pair(a, b, rounds).mean_access_ns);
+    pairs.emplace_back(a, b);
   }
+  const std::vector<double> samples = channel.measure_batch(pairs);
   histogram h(0.0, 700.0, 140);
   h.add_all(samples);
   return h.bin_center(h.mode_bin()) * factor;
@@ -54,40 +60,29 @@ drama_trial drama_tool::run_trial(const os::mapping_region& buffer, rng& r) {
   std::sort(pool.begin(), pool.end());
   pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
 
-  const double threshold =
-      drama_threshold(mc, pool, config_.calibration_pairs,
-                      config_.rounds_per_measurement,
-                      config_.threshold_factor, r);
+  // One measurement substrate for every tool: DRAMA measures through the
+  // timing channel and the classification engine, but keeps its published
+  // behavior — single-sample verdicts against its own crude threshold, no
+  // verification, no reuse cache (the original remeasures everything).
+  timing::channel channel(
+      mc,
+      {.rounds_per_measurement = config_.rounds_per_measurement,
+       .samples_per_latency = 1,
+       .calibration_pairs = config_.calibration_pairs},
+      rng(config_.tool_seed ^ 0xD4A2Au));
+  channel.set_threshold(drama_threshold(channel, pool,
+                                        config_.calibration_pairs,
+                                        config_.threshold_factor, r));
+  core::measurement_plan plan(channel, {.reuse_verdicts = false});
+  core::bank_classifier engine(plan);
 
   // --- Clustering: peel same-bank sets with single-sample sweeps. --------
-  std::vector<std::vector<std::uint64_t>> sets;
-  std::vector<std::uint64_t> remaining = pool;
-  unsigned sweeps = 0;
-  while (remaining.size() > config_.pool_size / 10 && sweeps < 100) {
-    ++sweeps;
-    const std::size_t base_idx = r.below(remaining.size());
-    const std::uint64_t base = remaining[base_idx];
-    std::vector<std::uint64_t> set{base};
-    std::vector<std::uint64_t> rest;
-    rest.reserve(remaining.size());
-    for (std::size_t i = 0; i < remaining.size(); ++i) {
-      if (i == base_idx) continue;
-      const double lat =
-          mc.measure_pair(base, remaining[i], config_.rounds_per_measurement)
-              .mean_access_ns;
-      if (lat > threshold) {
-        set.push_back(remaining[i]);
-      } else {
-        rest.push_back(remaining[i]);
-      }
-    }
-    remaining = std::move(rest);
-    if (set.size() >= config_.min_set_size) {
-      sets.push_back(std::move(set));
-    }
-    // Undersized sets are dropped as noise — their members are already
-    // consumed, which is exactly how the original tool loses banks.
-  }
+  core::bank_classifier::peel_config peel{};
+  peel.stop_remaining = config_.pool_size / 10;
+  peel.max_sweeps = 100;
+  peel.min_set_size = config_.min_set_size;
+  auto peeled = engine.peel(pool, r, peel);
+  std::vector<std::vector<std::uint64_t>>& sets = peeled.sets;
   trial.set_count = sets.size();
   if (sets.size() < 2) return trial;
 

@@ -1,0 +1,115 @@
+// The bank classification engine: one measurement substrate for every
+// partitioning tool in the repo (DRAMDig's Algorithm 2 and the DRAMA
+// baseline's clustering sweeps).
+//
+// Piles are first-class bank_class objects carrying a small set of
+// row-distinct representatives drawn from strict-SBDR-verified members.
+// Because an address can share a row with at most one of a class's
+// pairwise row-distinct representatives, a same-row false negative can
+// never mis-route an address: the second representative catches it.
+//
+// The representative driver classifies each unassigned address against
+// one representative per open class (single-sample votes batched per
+// round through the measurement plan, positives strict-verified before
+// they can touch a pile), falling back to the second representative and
+// only then to a fresh-pivot founder scan. What makes it cheap is the
+// knowledge-assisted vote ordering: the strict-verified piles' XOR
+// differences pin down the bank-function span (the same GF(2) null-space
+// detect_functions uses), and once that span's dimension matches
+// log2(#banks) it is provably exact — every address's bank id is then
+// computable host-side, the first vote goes to the predicted class, and
+// founder scans shrink from full-pool sweeps to the predicted group.
+// Every assignment is still measurement-verified (strict min filter), so
+// a defective prediction can cost measurements but never purity.
+//
+// The engine is built directly on core/measurement_plan: classes ARE the
+// plan's union-find classes (representative verdicts merge and query
+// them), vote negatives feed the plan's witness lists, and the plan's
+// cross-pile proofs skip votes the cache already implies — so a
+// directory that survives across calls (the bank-count sweep) re-resolves
+// for free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/measurement_plan.h"
+#include "core/partition.h"
+#include "util/rng.h"
+
+namespace dramdig::core {
+
+/// One same-bank class: members (element 0 is the founding pivot) plus
+/// the row-distinct representatives that classify against it.
+struct bank_class {
+  std::vector<std::uint64_t> members;
+  /// Pairwise row-distinct, strict-SBDR-verified; [0] is the pivot.
+  std::vector<std::uint64_t> representatives;
+};
+
+struct classifier_stats {
+  std::uint64_t representative_votes = 0;  ///< single-sample votes cast
+  std::uint64_t fallback_votes = 0;   ///< second-representative votes
+  std::uint64_t free_assignments = 0;  ///< resolved from the plan's classes
+  std::uint64_t predicted_assignments = 0;  ///< first-vote / group-scan hits
+  unsigned founder_scans = 0;        ///< pivot scans run to open classes
+  unsigned group_founder_scans = 0;  ///< founder scans limited to a group
+};
+
+class bank_classifier {
+ public:
+  explicit bank_classifier(measurement_plan& plan) : plan_(plan) {}
+
+  /// Partition `pool` into same-bank piles (paper Algorithm 2 semantics:
+  /// delta window on pile sizes, per_threshold stop). Dispatches to the
+  /// representative driver or the legacy pivot-scan loop per
+  /// partition_config::use_representatives; the class directory persists
+  /// across calls until clear().
+  [[nodiscard]] partition_outcome partition(std::vector<std::uint64_t> pool,
+                                            unsigned bank_count, rng& r,
+                                            const partition_config& config);
+
+  /// DRAMA-style clustering: repeatedly pick a random base and peel its
+  /// single-sample positives off the remaining pool — no verification, no
+  /// size window, undersized sets consumed (exactly how the original tool
+  /// loses banks). Runs through the same plan/channel batch substrate as
+  /// the representative driver, so a scalar measure_pair loop with the
+  /// same draws produces bit-identical sets.
+  struct peel_config {
+    std::size_t stop_remaining = 0;  ///< stop when the pool shrinks to this
+    unsigned max_sweeps = 100;
+    std::size_t min_set_size = 1;  ///< smaller sets are dropped (consumed)
+  };
+  struct peel_outcome {
+    std::vector<std::vector<std::uint64_t>> sets;  ///< [0] = base address
+    unsigned sweeps = 0;
+  };
+  [[nodiscard]] peel_outcome peel(std::vector<std::uint64_t> pool, rng& r,
+                                  const peel_config& config);
+
+  [[nodiscard]] const std::vector<bank_class>& classes() const noexcept {
+    return classes_;
+  }
+  [[nodiscard]] const classifier_stats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] measurement_plan& plan() noexcept { return plan_; }
+
+  /// Drop the class directory (pairs with measurement_plan::reset() in the
+  /// pipeline's retry loop: a poisoned merge must not outlive its attempt).
+  void clear() { classes_.clear(); }
+
+ private:
+  [[nodiscard]] partition_outcome pivot_scan_partition(
+      std::vector<std::uint64_t> pool, unsigned bank_count, rng& r,
+      const partition_config& config);
+  [[nodiscard]] partition_outcome representative_partition(
+      std::vector<std::uint64_t> pool, unsigned bank_count, rng& r,
+      const partition_config& config);
+
+  measurement_plan& plan_;
+  std::vector<bank_class> classes_;
+  classifier_stats stats_;
+};
+
+}  // namespace dramdig::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/classifier.h"
 #include "core/probe_util.h"
 #include "sysinfo/system_info.h"
 #include "util/bitops.h"
@@ -50,8 +51,12 @@ dramdig_report dramdig_tool::run() {
   timing::channel channel(mc, config_.channel, r.fork());
   // One measurement-reuse scheduler for the whole run: verdicts accreted
   // in any phase (or any partition attempt of the bank-count sweep) are
-  // reused by every later scan.
+  // reused by every later scan. The classification engine sits on top of
+  // it: its class directory (piles + row-distinct representatives)
+  // survives across the bank-count sweep, so a repeat partition attempt
+  // re-resolves surviving classes without measurements.
   measurement_plan plan(channel, config_.plan);
+  bank_classifier engine(plan);
   const auto finish = [&]() {
     report.total_seconds = mc.clock().seconds_since(t_begin);
     report.total_measurements = mc.measurement_count() - m_begin;
@@ -88,6 +93,7 @@ dramdig_report dramdig_tool::run() {
     phase_meter meter(mc, report.calibration);
     const auto pool = sample_addresses(buffer, 2048, r);
     report.threshold_ns = channel.calibrate(pool);
+    report.calibration.pairs_used = channel.calibration_pairs_used();
   }
   log_info("dramdig: threshold " + std::to_string(report.threshold_ns) + "ns");
 
@@ -149,9 +155,11 @@ dramdig_report dramdig_tool::run() {
       // A failed attempt may mean a cached relation is wrong (a burst can
       // push a false positive through the min filter, and merges are
       // permanent): retry from fresh measurements, like the
-      // pre-scheduler pipeline did. The bank-count sweep below still
-      // shares the cache within one attempt.
+      // pre-scheduler pipeline did. The class directory is built on those
+      // merges, so it resets with the plan; the bank-count sweep below
+      // still shares both within one attempt.
       plan.reset();
+      engine.clear();
     }
     if (attempt > 0 && pool.size() < 32768) {
       // Extend the selection bit set by the lowest still-unused row bits.
@@ -172,7 +180,7 @@ dramdig_report dramdig_tool::run() {
       partition_outcome po;
       {
         phase_meter meter(mc, report.partition);
-        po = partition_pool(plan, pool, banks, r, config_.partition);
+        po = partition_pool(engine, pool, banks, r, config_.partition);
       }
       if (!po.success) continue;
       function_outcome fo;

@@ -54,6 +54,10 @@ struct dramdig_config {
 struct phase_stats {
   double seconds = 0.0;
   std::uint64_t measurements = 0;
+  /// Pair samples the phase drew — filled for the calibration phase, where
+  /// the adaptive calibrator makes the count run-dependent (the other
+  /// phases already meter everything through `measurements`).
+  std::uint64_t pairs_used = 0;
 };
 
 struct dramdig_report {

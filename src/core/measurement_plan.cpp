@@ -60,16 +60,31 @@ void measurement_plan::record_negative(std::uint64_t pivot,
   // list doubles as the exact-pair memo. No dedupe needed: scans only
   // measure pairs the cache could not answer, so a recorded pair is
   // always new.
-  witnesses_[partner].push_back(pivot);
+  std::vector<std::uint64_t>& list = witnesses_[partner];
+  if (config_.max_witnesses != 0 && list.size() >= config_.max_witnesses) {
+    // LRU eviction: the front is the entry that least recently answered a
+    // query (hits rotate to the back). Forgetting it only costs a
+    // re-measurement if the pair ever comes up again.
+    list.erase(list.begin());
+    ++stats_.witnesses_evicted;
+  }
+  list.push_back(pivot);
   ++stats_.negatives_recorded;
 }
 
 bool measurement_plan::known_cross(std::uint64_t pivot, std::uint64_t x) {
   const auto lists = witnesses_.find(x);
   if (lists == witnesses_.end()) return false;
-  // Exact pair measured (or previously derived): reuse that verdict.
-  for (const std::uint64_t w : lists->second) {
-    if (w == pivot) return true;
+  // Exact pair measured (or previously derived): reuse that verdict. The
+  // hit rotates to the back of the list so LRU eviction drops stale
+  // entries first.
+  for (std::size_t i = 0; i < lists->second.size(); ++i) {
+    if (lists->second[i] == pivot) {
+      lists->second.erase(lists->second.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      lists->second.push_back(pivot);
+      return true;
+    }
   }
   // Two witnesses in pivot's class that are SBDR-positive with each other
   // sit in two different rows of one bank; x cannot share a row with both,
@@ -180,6 +195,96 @@ std::vector<char> measurement_plan::is_sbdr_strict_batch(
   return out;
 }
 
+std::size_t measurement_plan::class_root(std::uint64_t addr) {
+  const auto it = node_.find(addr);
+  if (it == node_.end()) return no_class;
+  return uf_.find(it->second);
+}
+
+bool measurement_plan::known_strict_positive(std::uint64_t a,
+                                             std::uint64_t b) const {
+  const auto it = strict_memo_.find(canonical(a, b));
+  return it != strict_memo_.end() && it->second != 0;
+}
+
+measurement_plan::vote_outcome measurement_plan::classify_pairs(
+    std::span<const sim::addr_pair> pairs, bool verify_positives) {
+  DRAMDIG_EXPECTS(channel_.calibrated());
+  vote_outcome out;
+  out.member.assign(pairs.size(), 0);
+  if (pairs.empty()) return out;
+
+  // ---- Stage 0: answer what the cache already implies. ------------------
+  std::vector<std::size_t>& unknown_idx = scratch_.unknown_idx;
+  unknown_idx.clear();
+  unknown_idx.reserve(pairs.size());
+  if (config_.reuse_verdicts) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      switch (relation(pairs[i].first, pairs[i].second)) {
+        case pair_relation::same_bank:
+          out.member[i] = 1;
+          ++out.reused;
+          stats_.measurements_saved += saved_scan_credit(verify_positives);
+          break;
+        case pair_relation::cross_pile:
+          ++out.reused;
+          ++stats_.measurements_saved;
+          break;
+        case pair_relation::unknown:
+          unknown_idx.push_back(i);
+          break;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < pairs.size(); ++i) unknown_idx.push_back(i);
+  }
+  if (unknown_idx.empty()) return out;
+
+  // ---- Stage 1: one single-sample batch over the unknown pairs. ---------
+  std::vector<sim::addr_pair>& fresh = scratch_.pairs;
+  fresh.clear();
+  fresh.reserve(unknown_idx.size());
+  for (const std::size_t i : unknown_idx) fresh.push_back(pairs[i]);
+  const std::vector<double> fast = channel_.measure_batch(fresh);
+  stats_.measurements_issued += fresh.size();
+
+  std::vector<sim::addr_pair>& candidates = scratch_.candidates;
+  std::vector<std::size_t>& candidate_idx = scratch_.candidate_idx;
+  std::vector<double>& prior = scratch_.prior;
+  candidates.clear();
+  candidate_idx.clear();
+  prior.clear();
+  for (std::size_t j = 0; j < unknown_idx.size(); ++j) {
+    if (fast[j] > channel_.threshold_ns()) {
+      candidates.push_back(fresh[j]);
+      candidate_idx.push_back(unknown_idx[j]);
+      prior.push_back(fast[j]);
+    } else {
+      record_negative(pairs[unknown_idx[j]].first,
+                      pairs[unknown_idx[j]].second);
+    }
+  }
+  if (!verify_positives) {
+    for (const std::size_t i : candidate_idx) out.member[i] = 1;
+    return out;
+  }
+
+  // ---- Stage 2: strict-verify the positives, folding the vote sample. ---
+  const std::vector<char> strict = verify_strict(candidates, prior);
+  for (std::size_t j = 0; j < strict.size(); ++j) {
+    const std::size_t i = candidate_idx[j];
+    const auto& [anchor, subject] = pairs[i];
+    if (strict[j]) {
+      out.member[i] = 1;
+      record_same_bank(anchor, subject);
+      if (config_.reuse_verdicts) strict_memo_[canonical(anchor, subject)] = 1;
+    } else {
+      record_negative(anchor, subject);
+    }
+  }
+  return out;
+}
+
 measurement_plan::scan_outcome measurement_plan::classify_partners(
     std::uint64_t pivot, std::span<const std::uint64_t> partners,
     const scan_options& options) {
@@ -216,7 +321,6 @@ measurement_plan::scan_outcome measurement_plan::classify_partners(
   // per scan that rejected it), while the pivot's own list covers
   // everything it ever scanned — walking the latter per partner would make
   // this stage quadratic in the pool.
-  const unsigned strict_cost = channel_.strict_samples();
   const auto pivot_node = node_.find(pivot);
   const std::size_t pivot_root =
       pivot_node != node_.end() ? uf_.find(pivot_node->second) : 0;
@@ -273,13 +377,8 @@ measurement_plan::scan_outcome measurement_plan::classify_partners(
       out.member[i] = 1;
       ++members;
       ++out.reused;
-      // What re-measuring this member in place would cost: the fast
-      // sample plus the strict verification — minus the sample the min
-      // filter would have folded back in when reuse is on.
-      stats_.measurements_saved +=
-          1 + (options.verify_positives
-                   ? strict_cost - (config_.reuse_scan_sample ? 1 : 0)
-                   : 0);
+      // What re-measuring this member in place would cost.
+      stats_.measurements_saved += saved_scan_credit(options.verify_positives);
     } else if (known_cross(pivot, partners[i]) ||
                (rejected_by != nullptr &&
                 std::find(rejected_by->begin(), rejected_by->end(),

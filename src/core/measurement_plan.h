@@ -62,6 +62,14 @@ struct plan_config {
   /// delta window plus the numbering check backstop the burst regime —
   /// in exchange every scan saves one measurement per verified member.
   bool reuse_scan_sample = true;
+  /// Per-address cap on the negative-witness lists, evicted LRU (the
+  /// entry that least recently answered or was recorded goes first).
+  /// Eviction only forgets a cached fact — the relation is re-measured if
+  /// it ever matters again — so a long-lived service embedding the plan
+  /// trades a bounded memory footprint for occasional re-measurement.
+  /// 0 = unbounded (the pre-cap behavior). The default comfortably holds
+  /// one rejecting pivot per bank on every paper machine.
+  std::size_t max_witnesses = 96;
 };
 
 struct plan_stats {
@@ -73,6 +81,7 @@ struct plan_stats {
   std::uint64_t classes_merged = 0;
   std::uint64_t negatives_recorded = 0;   ///< witness entries added
   std::uint64_t prescreen_rejections = 0;  ///< pivots rejected from a sample
+  std::uint64_t witnesses_evicted = 0;  ///< LRU drops (plan_config::max_witnesses)
 };
 
 /// Pile-size acceptance window for a pivot scan (counts include the
@@ -129,9 +138,58 @@ class measurement_plan {
       std::uint64_t pivot, std::span<const std::uint64_t> partners,
       const scan_options& options);
 
+  /// One round of representative votes: each pair is (anchor, subject) —
+  /// the anchor acting as the measuring pivot — and the verdict is "are
+  /// they same-bank?". Cached relations answer for free, unknown pairs
+  /// get a single-sample measurement in one channel batch, positives are
+  /// strict-verified (min filter folding the vote sample) and every
+  /// verdict feeds the cache: confirmed pairs merge classes, negatives
+  /// put the anchor on the subject's witness list. This is the
+  /// classification engine's per-address workhorse (core/classifier).
+  struct vote_outcome {
+    std::vector<char> member;  ///< per-pair same-bank verdict
+    std::uint64_t reused = 0;  ///< verdicts answered from the cache
+  };
+  [[nodiscard]] vote_outcome classify_pairs(
+      std::span<const sim::addr_pair> pairs, bool verify_positives);
+
   /// Distinct same-bank classes currently tracked (for tests/benches).
   [[nodiscard]] std::size_t class_count() const noexcept {
     return uf_.set_count();
+  }
+
+  /// Union-find root of the address's same-bank class, or no_class when
+  /// the address was never seen. Roots are stable only until the next
+  /// merge — callers snapshot and compare within one measurement-free
+  /// pass (the classifier's free-assignment stage).
+  static constexpr std::size_t no_class = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t class_root(std::uint64_t addr);
+
+  /// True when the strict memo already proves the pair SBDR-positive
+  /// (hence same-bank AND row-distinct). Never measures.
+  [[nodiscard]] bool known_strict_positive(std::uint64_t a, std::uint64_t b)
+      const;
+
+  /// What answering one partner verdict from the cache is worth, in
+  /// measurements: the fast sample plus (when positives are verified) the
+  /// strict re-check — minus the sample the min filter would have folded
+  /// back in when reuse_scan_sample is on. The single source of truth for
+  /// this formula, shared by the scan/vote paths and engines layered
+  /// above the plan.
+  [[nodiscard]] std::uint64_t saved_scan_credit(
+      bool verify_positives) const noexcept {
+    return 1 + (verify_positives
+                    ? channel_.strict_samples() -
+                          (config_.reuse_scan_sample ? 1 : 0)
+                    : 0);
+  }
+
+  /// Credit `measurements` answered-from-cache work performed by an engine
+  /// layered above the plan (e.g. the classifier's free-assignment stage,
+  /// which resolves whole piles from class_root without any scan). Keeps
+  /// measurements_saved a complete activity meter across layers.
+  void credit_saved(std::uint64_t measurements) noexcept {
+    stats_.measurements_saved += measurements;
   }
 
   /// Drop every cached relation (classes, witnesses, strict memo) while
@@ -167,10 +225,12 @@ class measurement_plan {
 
   union_find uf_;
   std::unordered_map<std::uint64_t, std::size_t> node_;
-  /// Pivots that measured the key not-SBDR, in recording order — one entry
-  /// per scan that rejected the address, so the lists stay short and
-  /// double as the exact-pair negative memo (a hash set over all pairs
-  /// costs more to maintain than these scans ever save).
+  /// Pivots that measured the key not-SBDR, in LRU order (back = most
+  /// recently recorded or consulted) — one entry per scan or vote that
+  /// rejected the address, so the lists stay short and double as the
+  /// exact-pair negative memo (a hash set over all pairs costs more to
+  /// maintain than these scans ever save). Bounded by
+  /// plan_config::max_witnesses with least-recently-used eviction.
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> witnesses_;
 
   struct pair_key_hash {

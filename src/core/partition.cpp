@@ -1,114 +1,23 @@
 #include "core/partition.h"
 
-#include <algorithm>
-
+#include "core/classifier.h"
 #include "util/expect.h"
-#include "util/log.h"
 
 namespace dramdig::core {
+
+partition_outcome partition_pool(bank_classifier& engine,
+                                 std::vector<std::uint64_t> pool,
+                                 unsigned bank_count, rng& r,
+                                 const partition_config& config) {
+  return engine.partition(std::move(pool), bank_count, r, config);
+}
 
 partition_outcome partition_pool(measurement_plan& plan,
                                  std::vector<std::uint64_t> pool,
                                  unsigned bank_count, rng& r,
                                  const partition_config& config) {
-  DRAMDIG_EXPECTS(bank_count >= 2);
-  DRAMDIG_EXPECTS(pool.size() >= bank_count);
-  partition_outcome out;
-
-  const std::size_t pool_sz = pool.size();
-  const double pile_sz =
-      static_cast<double>(pool_sz) / static_cast<double>(bank_count);
-  const double lo = (1.0 - config.delta_lower) * pile_sz;
-  const double hi = (1.0 + config.delta) * pile_sz;
-  const std::size_t stop_at = static_cast<std::size_t>(
-      (1.0 - config.per_threshold) * static_cast<double>(pool_sz));
-  const unsigned max_attempts = config.max_pivot_attempts != 0
-                                    ? config.max_pivot_attempts
-                                    : 4 * bank_count + 32;
-
-  scan_options scan{};
-  scan.verify_positives = config.verify_positives;
-  scan.prescreen_sample = config.prescreen_sample;
-  scan.prescreen_z = config.prescreen_z;
-  scan.window = {lo, hi};
-
-  // Partner-list buffers reused across pivot attempts; the plan reuses
-  // its own scratch for the large per-scan buffers too, so the
-  // O(pool * banks) loop allocates only small per-scan bookkeeping.
-  std::vector<std::uint64_t> partners;
-  std::vector<std::size_t> partner_idx;
-  std::vector<std::size_t> members;
-  partners.reserve(pool.size());
-  partner_idx.reserve(pool.size());
-  members.reserve(pool.size());
-
-  unsigned attempts = 0;
-  while (pool.size() > stop_at) {
-    if (attempts++ >= max_attempts) {
-      log_error("partition: exceeded pivot attempts with " +
-                std::to_string(pool.size()) + " addresses unassigned");
-      return out;  // success stays false
-    }
-    const std::size_t pivot_idx = r.below(pool.size());
-    const std::uint64_t pivot = pool[pivot_idx];
-
-    // One scan through the scheduler: cached relations are free, unknown
-    // partners get the single-sample scan, positives the strict min-filter
-    // re-check — so a contaminated sample, or a whole background-load
-    // burst, cannot plant a wrong-bank address in the pile. A single
-    // polluted pile would erase a true function from Algorithm 3's
-    // intersection.
-    partners.clear();
-    partner_idx.clear();
-    members.clear();
-    for (std::size_t i = 0; i < pool.size(); ++i) {
-      if (i == pivot_idx) continue;
-      partners.push_back(pool[i]);
-      partner_idx.push_back(i);
-    }
-    const auto verdict = plan.classify_partners(pivot, partners, scan);
-    out.reused_verdicts += verdict.reused;
-    if (verdict.prescreen_rejected) {
-      ++out.rejected_piles;
-      ++out.prescreen_rejections;
-      continue;
-    }
-    for (std::size_t j = 0; j < verdict.member.size(); ++j) {
-      if (verdict.member[j]) members.push_back(partner_idx[j]);
-    }
-
-    // Pile size counts the pivot: the pile *is* a bank-sized class, and on
-    // tiny pools (64 addresses / 8 banks) excluding the pivot would push
-    // legitimate piles just below the delta window.
-    const double size = static_cast<double>(members.size() + 1);
-    if (size < lo || size > hi) {
-      ++out.rejected_piles;
-      continue;
-    }
-
-    // Accept: extract pivot + members from the pool.
-    std::vector<std::uint64_t> pile;
-    pile.reserve(members.size() + 1);
-    pile.push_back(pivot);
-    for (std::size_t i : members) pile.push_back(pool[i]);
-    out.partitioned += pile.size();
-
-    members.push_back(pivot_idx);
-    std::sort(members.begin(), members.end(), std::greater<>());
-    for (std::size_t i : members) {
-      pool[i] = pool.back();
-      pool.pop_back();
-    }
-    out.piles.push_back(std::move(pile));
-  }
-
-  out.success = true;
-  log_info("partition: " + std::to_string(out.piles.size()) + " piles, " +
-           std::to_string(out.partitioned) + "/" + std::to_string(pool_sz) +
-           " assigned, " + std::to_string(out.rejected_piles) + " rejected (" +
-           std::to_string(out.prescreen_rejections) + " pre-screened), " +
-           std::to_string(out.reused_verdicts) + " verdicts reused");
-  return out;
+  bank_classifier engine(plan);
+  return engine.partition(std::move(pool), bank_count, r, config);
 }
 
 partition_outcome partition_pool(timing::channel& channel,
@@ -116,7 +25,8 @@ partition_outcome partition_pool(timing::channel& channel,
                                  unsigned bank_count, rng& r,
                                  const partition_config& config) {
   measurement_plan plan(channel);
-  return partition_pool(plan, std::move(pool), bank_count, r, config);
+  bank_classifier engine(plan);
+  return engine.partition(std::move(pool), bank_count, r, config);
 }
 
 }  // namespace dramdig::core

@@ -1,14 +1,24 @@
 // Step 2 phase 2: physical-address partition (paper Algorithm 2).
 //
-// Repeatedly pick a pivot, measure it against the remaining pool, and peel
-// off its same-bank pile. Noise tolerance is built in twice, exactly as
-// the paper describes: a pile is accepted only if its size is within
-// 1 ± delta of pool/#banks, and the loop stops once per_threshold of the
-// pool has been assigned (stragglers lost to misreads don't block
-// termination). On top of the paper's description, positives from the
-// single-sample scan are re-verified with median-of-k measurements before
-// they can pollute a pile — cheap (piles are small) and the reason the
-// detected functions stay deterministic on noisy machines.
+// Two interchangeable drivers live behind this interface (both in
+// core/classifier):
+//  * the representative-based classification engine (the default): piles
+//    are first-class bank classes carrying row-distinct representatives,
+//    and each unassigned address is classified against one representative
+//    per open class — with a second-representative fallback for same-row
+//    misses and a fresh-pivot founder scan only to open new classes;
+//  * the paper's literal pivot-scan loop (use_representatives = false),
+//    kept bit-for-bit as the differential oracle: repeatedly pick a
+//    pivot, measure it against the remaining pool, and peel off its
+//    same-bank pile.
+// Noise tolerance is built in twice, exactly as the paper describes: a
+// pile is accepted only if its size is within 1 ± delta of pool/#banks,
+// and the loop stops once per_threshold of the pool has been assigned
+// (stragglers lost to misreads don't block termination). On top of the
+// paper's description, positives from the single-sample scans are
+// re-verified with min-filtered measurements before they can pollute a
+// pile — cheap (piles are small) and the reason the detected functions
+// stay deterministic on noisy machines.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +30,8 @@
 
 namespace dramdig::core {
 
+class bank_classifier;
+
 struct partition_config {
   double delta = 0.2;           ///< upper pile-size tolerance (paper: 0.2)
   /// Lower tolerance is wider than the paper's symmetric delta: a pile is
@@ -28,6 +40,8 @@ struct partition_config {
   /// channel function feeds several column bits those classes are up to a
   /// quarter of each bank's addresses, so with small designed pools a
   /// perfectly clean pile legitimately sits well below pool/#banks.
+  /// (The representative engine recovers those addresses through its
+  /// second-representative fallback, so its piles sit near pool/#banks.)
   double delta_lower = 0.4;
   double per_threshold = 0.85;  ///< stop when this fraction is partitioned
   unsigned max_pivot_attempts = 0;  ///< 0 = 4 * #banks + 32
@@ -40,6 +54,16 @@ struct partition_config {
   /// doomed, and the pre-screen prices that in at ~1/8 of a scan.
   unsigned prescreen_sample = 64;
   double prescreen_z = 2.5;  ///< binomial slack multiplier for rejections
+  /// Representative-based classification engine (the default). false runs
+  /// the legacy pivot-scan loop — the differential oracle, preserved
+  /// bit-for-bit (same rng draws, same measurement sequence). The engine
+  /// needs the measurement-reuse cache; with plan_config::reuse_verdicts
+  /// off it falls back to the pivot-scan loop.
+  bool use_representatives = true;
+  /// Row-distinct representatives kept per class. 2 is the sweet spot: an
+  /// address can share a row with at most one of them, so the second
+  /// representative already catches every same-row false negative.
+  unsigned max_representatives = 2;
 };
 
 struct partition_outcome {
@@ -52,6 +76,13 @@ struct partition_outcome {
   /// Partner verdicts answered from the measurement-reuse cache instead of
   /// fresh measurements, across every scan of this call.
   std::uint64_t reused_verdicts = 0;
+  // --- Representative-engine accounting (zero on the pivot-scan path). ---
+  std::uint64_t representative_votes = 0;  ///< single-sample votes cast
+  std::uint64_t fallback_votes = 0;  ///< second-representative votes
+  unsigned founder_scans = 0;        ///< pivot scans run to open classes
+  /// Addresses assigned on their first, GF(2)-predicted vote or founder
+  /// group scan (the knowledge-assisted fast path).
+  std::uint64_t predicted_assignments = 0;
 };
 
 /// Primary interface: scans go through the measurement-reuse scheduler,
@@ -60,6 +91,13 @@ struct partition_outcome {
 /// partition attempts and pipeline stages).
 [[nodiscard]] partition_outcome partition_pool(
     measurement_plan& plan, std::vector<std::uint64_t> pool,
+    unsigned bank_count, rng& r, const partition_config& config = {});
+
+/// Engine-sharing overload: the classifier's class directory (and its
+/// representatives) survives across calls, so the bank-count sweep's
+/// repeat attempts re-resolve surviving classes without measurements.
+[[nodiscard]] partition_outcome partition_pool(
+    bank_classifier& engine, std::vector<std::uint64_t> pool,
     unsigned bank_count, rng& r, const partition_config& config = {});
 
 /// Convenience overload: a call-local plan (the cache still dedupes work

@@ -15,8 +15,37 @@ channel::channel(sim::memory_controller& controller, channel_config config,
   DRAMDIG_EXPECTS(config_.samples_per_latency >= 1);
 }
 
+std::size_t channel::sample_calibration_chunk(
+    const std::vector<std::uint64_t>& pool, std::size_t pairs) {
+  // Pair draws are independent of the measurements, so the chunk is drawn
+  // up front and serviced as one controller batch — each pair duplicated,
+  // min-of-two over the adjacent readings (contamination is one-sided, so
+  // the lower reading is always the cleaner one). Bit-identical to the
+  // scalar two-measurement loop, at batch host cost.
+  std::vector<sim::addr_pair> batch;
+  batch.reserve(pairs * 2);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const std::uint64_t a = pool[rng_.below(pool.size())];
+    const std::uint64_t b = pool[rng_.below(pool.size())];
+    if (a == b) {
+      --i;
+      continue;
+    }
+    batch.emplace_back(a, b);
+    batch.emplace_back(a, b);
+  }
+  const std::vector<double> latencies = measure_batch(batch);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    calibration_samples_.push_back(
+        std::min(latencies[2 * i], latencies[2 * i + 1]));
+  }
+  calibration_pairs_used_ += pairs;
+  return pairs;
+}
+
 double channel::calibrate(const std::vector<std::uint64_t>& pool) {
   DRAMDIG_EXPECTS(pool.size() >= 2);
+  calibration_pairs_used_ = 0;
   // Up to three calibration rounds: a background-load burst can smear the
   // fast mode across the whole histogram and put the valley in a useless
   // place, which a sanity check on the slow-fraction detects (random pairs
@@ -25,22 +54,34 @@ double channel::calibrate(const std::vector<std::uint64_t>& pool) {
   for (unsigned round = 0; round < 3; ++round) {
     calibration_samples_.clear();
     calibration_samples_.reserve(config_.calibration_pairs);
-    for (unsigned i = 0; i < config_.calibration_pairs; ++i) {
-      const std::uint64_t a = pool[rng_.below(pool.size())];
-      std::uint64_t b = pool[rng_.below(pool.size())];
-      if (a == b) {
-        --i;
-        continue;
+    if (!config_.adaptive_calibration) {
+      sample_calibration_chunk(pool, config_.calibration_pairs);
+    } else {
+      // Adaptive schedule: re-estimate the valley after every chunk and
+      // stop once the last few estimates agree within the stability band.
+      // The budget (calibration_pairs) still bounds the worst case.
+      const std::size_t chunk = std::max(1u, config_.calibration_chunk);
+      std::vector<double> estimates;
+      while (calibration_samples_.size() < config_.calibration_pairs) {
+        const std::size_t want = std::min<std::size_t>(
+            chunk, config_.calibration_pairs - calibration_samples_.size());
+        sample_calibration_chunk(pool, want);
+        if (calibration_samples_.size() < config_.calibration_min_pairs) {
+          continue;
+        }
+        estimates.push_back(valley_threshold(calibration_samples_));
+        const unsigned need = std::max(2u, config_.calibration_stable_checks);
+        if (estimates.size() < need) continue;
+        double lo = estimates.back(), hi = estimates.back();
+        for (std::size_t k = estimates.size() - need; k < estimates.size();
+             ++k) {
+          lo = std::min(lo, estimates[k]);
+          hi = std::max(hi, estimates[k]);
+        }
+        if (hi - lo <= config_.calibration_stability * std::max(hi, 1e-9)) {
+          break;  // the valley stopped moving: further pairs buy nothing
+        }
       }
-      // Min-of-two: contamination is one-sided, so the lower reading is
-      // always the cleaner one.
-      const double first =
-          controller_.measure_pair(a, b, config_.rounds_per_measurement)
-              .mean_access_ns;
-      const double second =
-          controller_.measure_pair(a, b, config_.rounds_per_measurement)
-              .mean_access_ns;
-      calibration_samples_.push_back(std::min(first, second));
     }
     threshold_ns_ = valley_threshold(calibration_samples_);
     std::size_t above = 0;
@@ -51,6 +92,11 @@ double channel::calibrate(const std::vector<std::uint64_t>& pool) {
     if (frac > 0.005 && frac < 0.35) break;
   }
   return threshold_ns_;
+}
+
+void channel::set_threshold(double ns) {
+  DRAMDIG_EXPECTS(ns > 0);
+  threshold_ns_ = ns;
 }
 
 double channel::latency(std::uint64_t p1, std::uint64_t p2) {

@@ -25,8 +25,25 @@ struct channel_config {
   unsigned rounds_per_measurement = 500;
   /// Independent measurements medianed per latency() call.
   unsigned samples_per_latency = 3;
-  /// Random pairs sampled during threshold calibration.
+  /// Random pairs sampled during threshold calibration. With the adaptive
+  /// calibrator this is the budget ceiling, not the schedule.
   unsigned calibration_pairs = 1200;
+  /// Adaptive calibration: sample in chunks and stop as soon as the
+  /// valley estimate is stable over a sliding window of re-estimates —
+  /// the small machines spend about half their measurement budget on the
+  /// fixed schedule, almost all of it after the threshold has converged.
+  /// false restores the fixed calibration_pairs schedule (the
+  /// differential baseline, same shape as the other oracle flags).
+  bool adaptive_calibration = true;
+  /// Minimum pairs before the first stability check: the valley estimator
+  /// needs both latency modes populated before its output means anything.
+  unsigned calibration_min_pairs = 300;
+  /// Pairs sampled per adaptive chunk (one re-estimate per chunk).
+  unsigned calibration_chunk = 150;
+  /// Stop once the last calibration_stable_checks consecutive estimates
+  /// all sit within this relative band of each other.
+  double calibration_stability = 0.02;
+  unsigned calibration_stable_checks = 3;
 };
 
 class channel {
@@ -77,6 +94,16 @@ class channel {
 
   [[nodiscard]] double threshold_ns() const noexcept { return threshold_ns_; }
   [[nodiscard]] bool calibrated() const noexcept { return threshold_ns_ > 0; }
+  /// Inject an externally derived threshold instead of calibrate() — the
+  /// baselines compute their own cruder thresholds but still measure
+  /// through this channel, so every tool shares one measurement substrate.
+  void set_threshold(double ns);
+  /// Pair samples the last calibrate() actually measured, summed across
+  /// its sanity-check rounds (the adaptive calibrator stops early; the
+  /// fixed schedule reports calibration_pairs per round).
+  [[nodiscard]] std::uint64_t calibration_pairs_used() const noexcept {
+    return calibration_pairs_used_;
+  }
   /// Measurements the strict (min-filtered) predicate takes per pair —
   /// exposed so schedulers layered above can account and partially reuse.
   [[nodiscard]] unsigned strict_samples() const noexcept {
@@ -97,10 +124,16 @@ class channel {
   }
 
  private:
+  /// One chunk of min-of-two calibration samples appended to
+  /// calibration_samples_; returns the number of pairs measured.
+  std::size_t sample_calibration_chunk(const std::vector<std::uint64_t>& pool,
+                                       std::size_t pairs);
+
   sim::memory_controller& controller_;
   channel_config config_;
   rng rng_;
   double threshold_ns_ = 0.0;
+  std::uint64_t calibration_pairs_used_ = 0;
   std::vector<double> calibration_samples_;
 };
 

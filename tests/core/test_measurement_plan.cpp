@@ -279,22 +279,26 @@ TEST(MeasurementPlan, RepeatedPartitionsGetSuperlinearlyCheaper) {
   // pool (the bank-count sweep, the attempt loop) costs less every time.
   // Run 2 gets the class members for free and seeds a second row-distinct
   // witness on every negative; by run 3 the witness pairs answer the
-  // negatives too, and scans cost almost nothing.
+  // negatives too, and scans cost almost nothing. Pinned to the pivot-scan
+  // driver: this is the plan's own reuse property, independent of the
+  // classifier's class directory (which has its own test).
   pipeline_fixture f(1);
   const auto pool = pool_for(f, {6, 14, 15, 16, 17, 18, 19});
   measurement_plan plan(f.channel);
   auto& controller = f.env.mach().controller();
+  partition_config cfg{};
+  cfg.use_representatives = false;
 
   const std::uint64_t base = controller.measurement_count();
-  const auto first = partition_pool(plan, pool, 16, f.r);
+  const auto first = partition_pool(plan, pool, 16, f.r, cfg);
   ASSERT_TRUE(first.success);
   const std::uint64_t cost1 = controller.measurement_count() - base;
 
-  const auto second = partition_pool(plan, pool, 16, f.r);
+  const auto second = partition_pool(plan, pool, 16, f.r, cfg);
   ASSERT_TRUE(second.success);
   const std::uint64_t cost2 = controller.measurement_count() - base - cost1;
 
-  const auto third = partition_pool(plan, pool, 16, f.r);
+  const auto third = partition_pool(plan, pool, 16, f.r, cfg);
   ASSERT_TRUE(third.success);
   const std::uint64_t cost3 =
       controller.measurement_count() - base - cost1 - cost2;
@@ -313,6 +317,85 @@ TEST(MeasurementPlan, RepeatedPartitionsGetSuperlinearlyCheaper) {
       }
     }
   }
+}
+
+TEST(MeasurementPlan, ClassifyPairsVerdictsMatchGroundTruthAndFeedCache) {
+  pipeline_fixture f(1);
+  const auto pool = pool_for(f, {6, 14, 15, 16, 17, 18, 19});
+  const auto& truth = f.env.spec().mapping;
+
+  // Anchor the pool's first address against every other: the verdict must
+  // be "same bank AND different row", and every verdict must be queryable
+  // from the cache afterwards.
+  std::vector<sim::addr_pair> pairs;
+  for (std::size_t i = 1; i < pool.size(); ++i) {
+    pairs.emplace_back(pool.front(), pool[i]);
+  }
+  measurement_plan plan(f.channel);
+  const auto votes = plan.classify_pairs(pairs, /*verify_positives=*/true);
+  EXPECT_EQ(votes.reused, 0u);
+  std::size_t positives = 0;
+  for (std::size_t j = 0; j < pairs.size(); ++j) {
+    const bool same_bank_diff_row =
+        truth.bank_of(pairs[j].first) == truth.bank_of(pairs[j].second) &&
+        truth.row_of(pairs[j].first) != truth.row_of(pairs[j].second);
+    EXPECT_EQ(votes.member[j] != 0, same_bank_diff_row);
+    positives += votes.member[j] != 0;
+    const pair_relation rel = plan.relation(pairs[j].first, pairs[j].second);
+    EXPECT_EQ(rel, votes.member[j] ? pair_relation::same_bank
+                                   : pair_relation::cross_pile);
+  }
+  ASSERT_GT(positives, 0u);
+
+  // A repeat of the same votes answers entirely from the cache.
+  const std::uint64_t count = f.env.mach().controller().measurement_count();
+  const auto again = plan.classify_pairs(pairs, true);
+  EXPECT_EQ(again.member, votes.member);
+  EXPECT_EQ(again.reused, pairs.size());
+  EXPECT_EQ(f.env.mach().controller().measurement_count(), count);
+}
+
+TEST(MeasurementPlan, WitnessListsAreBoundedWithLruEviction) {
+  // A long-lived service must not grow the witness lists without bound:
+  // with max_witnesses = 2, a third rejecting anchor evicts the oldest
+  // entry — that relation degrades to unknown (re-measurable), while the
+  // recently recorded ones stay cached.
+  pipeline_fixture f(1);
+  const auto pool = pool_for(f, {6, 14, 15, 16, 17, 18, 19});
+  const auto& truth = f.env.spec().mapping;
+
+  // One subject plus several anchors in other banks.
+  const std::uint64_t subject = pool.front();
+  std::vector<std::uint64_t> anchors;
+  for (std::size_t i = 1; i < pool.size() && anchors.size() < 4; ++i) {
+    if (truth.bank_of(pool[i]) != truth.bank_of(subject)) {
+      anchors.push_back(pool[i]);
+    }
+  }
+  ASSERT_EQ(anchors.size(), 4u);
+
+  measurement_plan plan(f.channel, {.max_witnesses = 2});
+  for (const std::uint64_t a : anchors) {
+    const sim::addr_pair pair{a, subject};
+    const auto votes = plan.classify_pairs({&pair, 1}, true);
+    EXPECT_EQ(votes.member.front(), 0);
+  }
+  EXPECT_GE(plan.stats().witnesses_evicted, 2u);
+  // The two most recent anchors are still cached; the first was evicted.
+  EXPECT_EQ(plan.relation(anchors[3], subject), pair_relation::cross_pile);
+  EXPECT_EQ(plan.relation(anchors[2], subject), pair_relation::cross_pile);
+  EXPECT_EQ(plan.relation(anchors[0], subject), pair_relation::unknown);
+
+  // Unbounded config never evicts on the same sequence.
+  pipeline_fixture g(1);
+  measurement_plan unbounded(g.channel, {.max_witnesses = 0});
+  for (const std::uint64_t a : anchors) {
+    const sim::addr_pair pair{a, subject};
+    (void)unbounded.classify_pairs({&pair, 1}, true);
+  }
+  EXPECT_EQ(unbounded.stats().witnesses_evicted, 0u);
+  EXPECT_EQ(unbounded.relation(anchors[0], subject),
+            pair_relation::cross_pile);
 }
 
 }  // namespace

@@ -109,6 +109,58 @@ TEST(Channel, CalibrationSamplesExposed) {
   EXPECT_EQ(f.ch.calibration_samples().size(), 300u);
 }
 
+TEST(Channel, AdaptiveCalibratorStopsEarlyWithSaneThreshold) {
+  // The adaptive schedule must spend well under the fixed budget on a
+  // clean machine — the valley stabilizes after a few hundred pairs — and
+  // still land the threshold between the latency modes.
+  channel_fixture f(8);
+  const double t = f.ch.calibrate(f.pool(512, 9));
+  EXPECT_GT(t, f.timing.row_hit_ns);
+  EXPECT_LT(t, f.timing.row_conflict_ns);
+  EXPECT_GE(f.ch.calibration_pairs_used(), 300u);
+  EXPECT_LT(f.ch.calibration_pairs_used(), 1200u);
+  // The channel still classifies ground truth correctly.
+  EXPECT_TRUE(f.ch.is_sbdr(0, 1ull << 20));
+  EXPECT_FALSE(f.ch.is_sbdr(0, 1ull << 6));
+}
+
+TEST(Channel, FixedScheduleFlagRestoresFullBudget) {
+  channel_config cfg{};
+  cfg.adaptive_calibration = false;
+  channel_fixture f(8, {}, cfg);
+  (void)f.ch.calibrate(f.pool(512, 9));
+  EXPECT_EQ(f.ch.calibration_pairs_used(), 1200u);
+  EXPECT_EQ(f.ch.calibration_samples().size(), 1200u);
+}
+
+TEST(Channel, AdaptiveCalibratorSurvivesNoisyProfile) {
+  // Contamination widens the histogram; the stability window must not
+  // latch a premature threshold that misclassifies ground truth.
+  sim::timing_model noisy{};
+  noisy.contamination_chance = 0.04;
+  noisy.contamination_max_ns = 500.0;
+  channel_fixture f(9, noisy);
+  (void)f.ch.calibrate(f.pool(1024, 15));
+  int errors = 0;
+  for (int i = 0; i < 100; ++i) {
+    errors += !f.ch.is_sbdr_strict(0, 1ull << 20);
+    errors += f.ch.is_sbdr_strict(0, 1ull << 8);
+  }
+  EXPECT_LE(errors, 2);
+}
+
+TEST(Channel, InjectedThresholdCalibratesTheChannel) {
+  // Baselines calibrate their own way and inject the result; the channel
+  // must accept it and classify with it.
+  channel_fixture f(10);
+  EXPECT_FALSE(f.ch.calibrated());
+  EXPECT_THROW(f.ch.set_threshold(0.0), contract_violation);
+  f.ch.set_threshold((f.timing.row_hit_ns + f.timing.row_conflict_ns) / 2);
+  ASSERT_TRUE(f.ch.calibrated());
+  EXPECT_TRUE(f.ch.is_sbdr(0, 1ull << 20));
+  EXPECT_FALSE(f.ch.is_sbdr(0, 1ull << 6));
+}
+
 TEST(Channel, MeasurementCountScalesWithSamples) {
   channel_config cfg{};
   cfg.samples_per_latency = 5;
