@@ -8,13 +8,15 @@
 // Seaborn et al.'s blind-rowhammer approach is scored from its published
 // properties (machine-specific analysis of a blind test, hours of
 // hammering) — it predates the timing channel and has no tool to run.
+//
+// Every (machine, seed, tool) run is one mapping_service job; the batches
+// fan across the worker pool and aggregate by submission index, so the
+// scores are identical to the old sequential loops on any thread count.
 #include <cstdio>
 #include <set>
+#include <vector>
 
-#include "baselines/drama.h"
-#include "baselines/xiao.h"
-#include "core/dramdig.h"
-#include "core/environment.h"
+#include "api/mapping_service.h"
 #include "dram/presets.h"
 #include "util/gf2.h"
 #include "util/table.h"
@@ -31,19 +33,30 @@ struct tool_score {
 
 constexpr std::uint64_t kSeeds[] = {11, 222};
 
-tool_score score_dramdig() {
-  tool_score s;
+/// One job per (machine, seed) for `tool`, in machine-major order.
+std::vector<api::job_spec> machine_seed_jobs(const std::string& tool,
+                                             const api::tool_options& options) {
+  std::vector<api::job_spec> jobs;
   for (const auto& spec : dram::paper_machines()) {
+    for (std::uint64_t seed : kSeeds) {
+      jobs.push_back({spec, tool, options, seed});
+    }
+  }
+  return jobs;
+}
+
+tool_score score_dramdig(const api::mapping_service& service) {
+  tool_score s;
+  const auto outcomes = service.run(machine_seed_jobs("dramdig", {}));
+  std::size_t at = 0;
+  for (std::size_t m = 0; m < dram::paper_machines().size(); ++m) {
     std::set<std::string> outputs;
     bool all_ok = true;
-    for (std::uint64_t seed : kSeeds) {
-      core::environment env(spec, seed);
-      const auto report = core::dramdig_tool(env).run();
-      s.worst_seconds = std::max(s.worst_seconds, report.total_seconds);
-      const bool ok = report.success && report.mapping &&
-                      report.mapping->equivalent_to(spec.mapping);
-      all_ok &= ok;
-      outputs.insert(report.mapping ? report.mapping->describe() : "(none)");
+    for (std::size_t i = 0; i < std::size(kSeeds); ++i, ++at) {
+      const api::tool_result& r = outcomes[at].result;
+      s.worst_seconds = std::max(s.worst_seconds, r.virtual_seconds);
+      all_ok &= r.verified;
+      outputs.insert(r.mapping ? r.mapping->describe() : "(none)");
     }
     s.correct_machines += all_ok;
     s.deterministic &= outputs.size() == 1;
@@ -51,52 +64,58 @@ tool_score score_dramdig() {
   return s;
 }
 
-tool_score score_drama() {
+tool_score score_drama(const api::mapping_service& service) {
   tool_score s;
+  const auto outcomes = service.run(machine_seed_jobs("drama", {}));
+  // Determinism is a property of what a *run of the tool* prints: probe
+  // with single-pass runs, the way the tool ships (the multi-trial
+  // agreement loop deliberately discards divergent output, which would
+  // mask exactly the behaviour the paper reports).
+  baselines::drama_config single_pass{};
+  single_pass.max_trials = 1;
+  std::vector<api::job_spec> probes;
   for (const auto& spec : dram::paper_machines()) {
-    bool all_ok = true;
-    for (std::uint64_t seed : kSeeds) {
-      core::environment env(spec, seed);
-      const auto report = baselines::drama_tool(env).run();
-      s.worst_seconds = std::max(s.worst_seconds, report.total_seconds);
-      const bool ok =
-          report.completed &&
-          gf2::same_span(report.functions, spec.mapping.bank_functions());
-      all_ok &= ok;
-    }
-    s.correct_machines += all_ok;
-    // Determinism is a property of what a *run of the tool* prints: probe
-    // with single-pass runs, the way the tool ships (the multi-trial
-    // agreement loop above deliberately discards divergent output, which
-    // would mask exactly the behaviour the paper reports).
-    std::set<gf2::matrix> outputs;
     for (std::uint64_t seed : {5ull, 6ull, 7ull}) {
-      core::environment env(spec, seed);
-      baselines::drama_config cfg{};
-      cfg.max_trials = 1;
-      const auto report = baselines::drama_tool(env, cfg).run();
-      outputs.insert(gf2::row_echelon(report.functions));
+      probes.push_back(
+          {spec, "drama", api::tool_options{}.with_drama(single_pass), seed});
+    }
+  }
+  const auto probe_outcomes = service.run(probes);
+
+  std::size_t at = 0;
+  for (std::size_t m = 0; m < dram::paper_machines().size(); ++m) {
+    bool all_ok = true;
+    for (std::size_t i = 0; i < std::size(kSeeds); ++i, ++at) {
+      const api::tool_result& r = outcomes[at].result;
+      s.worst_seconds = std::max(s.worst_seconds, r.virtual_seconds);
+      all_ok &= r.verified;  // completed + function span matches truth
+    }
+    s.correct_machines += all_ok;
+    std::set<gf2::matrix> outputs;
+    for (std::size_t i = 0; i < 3; ++i) {
+      const api::tool_result& r = probe_outcomes[3 * m + i].result;
+      outputs.insert(gf2::row_echelon(
+          r.mapping ? r.mapping->bank_functions() : gf2::matrix{}));
     }
     s.deterministic &= outputs.size() == 1;
-    std::fflush(stdout);
   }
   return s;
 }
 
-tool_score score_xiao() {
+tool_score score_xiao(const api::mapping_service& service) {
   tool_score s;
-  for (const auto& spec : dram::paper_machines()) {
+  const auto outcomes = service.run(machine_seed_jobs("xiao", {}));
+  std::size_t at = 0;
+  for (std::size_t m = 0; m < dram::paper_machines().size(); ++m) {
     bool all_ok = true;
-    for (std::uint64_t seed : kSeeds) {
-      core::environment env(spec, seed);
-      const auto report = baselines::xiao_tool(env).run();
+    for (std::size_t i = 0; i < std::size(kSeeds); ++i, ++at) {
+      const api::tool_result& r = outcomes[at].result;
       // Worst case among machines it HANDLES; stalls are genericity
       // failures, not efficiency ones (the paper scores it efficient).
-      if (report.success) {
-        s.worst_seconds = std::max(s.worst_seconds, report.total_seconds);
+      if (r.success) {
+        s.worst_seconds = std::max(s.worst_seconds, r.virtual_seconds);
       }
-      all_ok &= report.success && report.mapping &&
-                report.mapping->equivalent_to(spec.mapping);
+      all_ok &= r.verified;
     }
     s.correct_machines += all_ok;
   }
@@ -112,9 +131,10 @@ int main() {
               "simulated machines, %zu seeds each) ==\n\n",
               std::size(kSeeds));
 
-  const tool_score dig = score_dramdig();
-  const tool_score drama = score_drama();
-  const tool_score xiao = score_xiao();
+  const api::mapping_service service;
+  const tool_score dig = score_dramdig(service);
+  const tool_score drama = score_drama(service);
+  const tool_score xiao = score_xiao(service);
 
   text_table table({"Uncovering Tool", "Generic", "Efficient",
                     "Deterministic", "Correct machines", "Worst time"});

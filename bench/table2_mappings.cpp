@@ -4,11 +4,13 @@
 //
 // The reported bank functions are one valid GF(2) basis of the function
 // space; the paper prints a specific basis, so the `matches` column
-// compares span + row/column bit sets rather than literal text.
+// compares span + row/column bit sets rather than literal text. The nine
+// runs are one mapping_service batch (independent jobs, merged by
+// submission index — same table on any worker count).
 #include <cstdio>
+#include <vector>
 
-#include "core/dramdig.h"
-#include "core/environment.h"
+#include "api/mapping_service.h"
 #include "dram/presets.h"
 #include "util/table.h"
 
@@ -17,27 +19,29 @@ int main() {
   std::printf(
       "== Table II: reverse-engineered DRAM mappings on 9 machine settings "
       "==\n\n");
+
+  std::vector<api::job_spec> jobs;
+  for (const dram::machine_spec& spec : dram::paper_machines()) {
+    jobs.push_back({spec, "dramdig", {},
+                    1000 + static_cast<std::uint64_t>(spec.number)});
+  }
+  const auto outcomes = api::mapping_service().run(jobs);
+
   text_table table({"No.", "Microarch.", "DRAM Type, Size", "Config.",
                     "Bank Address Functions", "Row Bits", "Column Bits",
                     "Matches paper"});
   int correct = 0;
-  for (const dram::machine_spec& spec : dram::paper_machines()) {
-    core::environment env(spec, /*seed=*/1000 + spec.number);
-    core::dramdig_tool tool(env);
-    const core::dramdig_report report = tool.run();
-    const bool ok = report.success && report.mapping &&
-                    report.mapping->equivalent_to(spec.mapping);
-    correct += ok;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const dram::machine_spec& spec = jobs[i].machine;
+    const api::tool_result& r = outcomes[i].result;
+    correct += r.verified;
     table.add_row(
         {spec.label(), spec.microarchitecture + " " + spec.cpu_model,
          spec.dram_description(), spec.config_quadruple(),
-         report.mapping ? report.mapping->describe_functions() : "(failed)",
-         report.mapping ? dram::describe_bit_ranges(report.mapping->row_bits())
-                        : "-",
-         report.mapping
-             ? dram::describe_bit_ranges(report.mapping->column_bits())
-             : "-",
-         ok ? "yes" : "NO"});
+         r.mapping ? r.mapping->describe_functions() : "(failed)",
+         r.mapping ? dram::describe_bit_ranges(r.mapping->row_bits()) : "-",
+         r.mapping ? dram::describe_bit_ranges(r.mapping->column_bits()) : "-",
+         r.verified ? "yes" : "NO"});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("deterministically uncovered: %d/9 machines\n", correct);

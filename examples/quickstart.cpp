@@ -1,24 +1,48 @@
 // Quickstart: reverse-engineer the DRAM address mapping of one simulated
-// machine and compare against the ground truth.
+// machine through the unified tool API and compare against the ground
+// truth.
 //
-//   $ quickstart [machine_number=1] [seed=42]
+//   $ quickstart [machine_number=1] [seed=42] [--json <path>]
 //
-// Walks the whole DRAMDig pipeline with info-level narration and prints
-// the uncovered bank functions, row bits and column bits in the format of
-// the paper's Table II.
+// Walks the whole DRAMDig pipeline with info-level narration, prints the
+// uncovered bank functions, row bits and column bits in the format of the
+// paper's Table II, and with --json writes the run's tool_result as a
+// machine-readable record. The exit code reflects tool_result::success, so
+// the binary doubles as a CI smoke check.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include "core/dramdig.h"
+#include "api/tool.h"
 #include "core/environment.h"
 #include "dram/presets.h"
+#include "util/json.h"
 #include "util/log.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace dramdig;
-  const int machine_no = argc > 1 ? std::atoi(argv[1]) : 1;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  std::string json_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --json needs a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int machine_no =
+      positional.size() > 0 ? std::atoi(positional[0]) : 1;
+  const std::uint64_t seed =
+      positional.size() > 1 ? std::strtoull(positional[1], nullptr, 10) : 42;
 
   set_log_level(log_level::info);
   const dram::machine_spec& spec = dram::machine_by_number(machine_no);
@@ -27,29 +51,36 @@ int main(int argc, char** argv) {
               spec.dram_description().c_str(), spec.config_quadruple().c_str());
 
   core::environment env(spec, seed);
-  core::dramdig_tool tool(env);
-  const core::dramdig_report report = tool.run();
+  const api::tool_result result = api::make_tool("dramdig")->run(env);
 
-  std::printf("\n== DRAMDig report ==\n");
-  std::printf("success:        %s\n", report.success ? "yes" : "no");
-  if (!report.success) {
-    std::printf("reason:         %s\n", report.failure_reason.c_str());
+  std::printf("\n== DRAMDig result ==\n");
+  std::printf("success:        %s\n", result.success ? "yes" : "no");
+  if (!result.success) {
+    std::printf("reason:         %s\n", result.failure_reason.c_str());
   }
   std::printf("virtual time:   %s\n",
-              fmt_duration_s(report.total_seconds).c_str());
-  std::printf("measurements:   %llu\n",
-              static_cast<unsigned long long>(report.total_measurements));
-  std::printf("pool size:      %zu\n", report.pool_size);
-  std::printf("piles:          %zu\n", report.pile_count);
+              fmt_duration_s(result.virtual_seconds).c_str());
+  std::printf("measurements:   %llu (%llu answered by the reuse cache)\n",
+              static_cast<unsigned long long>(result.measurement_count),
+              static_cast<unsigned long long>(result.measurements_saved));
+  std::printf("detail:         %s\n", result.detail.c_str());
 
-  if (report.mapping) {
-    std::printf("\nuncovered:      %s\n", report.mapping->describe().c_str());
+  if (result.mapping) {
+    std::printf("\nuncovered:      %s\n", result.mapping->describe().c_str());
     std::printf("ground truth:   %s\n", spec.mapping.describe().c_str());
-    std::printf("equivalent:     %s\n",
-                report.mapping->equivalent_to(spec.mapping) ? "YES" : "NO");
+    std::printf("equivalent:     %s\n", result.verified ? "YES" : "NO");
   }
-  return report.success &&
-                 report.mapping->equivalent_to(spec.mapping)
-             ? 0
-             : 1;
+
+  if (!json_path.empty()) {
+    json_writer w;
+    w.begin_object();
+    w.key("machine").value(spec.label());
+    w.key("seed").value(seed);
+    w.key("result");
+    result.to_json(w);
+    w.end_object();
+    write_file(json_path, w.str());
+    std::printf("\nJSON record written to %s\n", json_path.c_str());
+  }
+  return result.success ? 0 : 1;
 }

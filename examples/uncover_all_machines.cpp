@@ -1,40 +1,70 @@
-// Reverse-engineer every paper machine in sequence — a live rendition of
-// Table II. For each of the nine settings we print the configuration
-// quadruple, the uncovered bank functions, row and column bits, and
-// whether the hypothesis is equivalent (same GF(2) span, same bit sets) to
-// the ground truth programmed into the simulator.
+// Reverse-engineer every paper machine — a live rendition of Table II,
+// submitted as one mapping_service batch. The worker pool drains the nine
+// machines concurrently; a progress observer narrates completions as they
+// land (in wall-clock order), while the final table merges by submission
+// index, so it is identical however the pool interleaves.
 #include <cstdio>
+#include <vector>
 
-#include "core/dramdig.h"
-#include "core/environment.h"
+#include "api/mapping_service.h"
 #include "dram/presets.h"
 #include "util/table.h"
 
+namespace {
+
+using namespace dramdig;
+
+/// Narrates job completions; the service serializes observer calls, so
+/// plain printf needs no locking here.
+class narrator final : public api::progress_observer {
+ public:
+  explicit narrator(const std::vector<api::job_spec>& jobs) : jobs_(jobs) {}
+
+  void on_job_done(std::size_t index,
+                   const api::job_outcome& outcome) override {
+    std::printf("  [%s %s] %s in %s (wall %.2fs)\n",
+                jobs_[index].machine.label().c_str(),
+                outcome.result.tool.c_str(), outcome.result.outcome.c_str(),
+                fmt_duration_s(outcome.result.virtual_seconds).c_str(),
+                outcome.wall_seconds);
+  }
+
+ private:
+  const std::vector<api::job_spec>& jobs_;
+};
+
+}  // namespace
+
 int main() {
   using namespace dramdig;
+
+  std::vector<api::job_spec> jobs;
+  for (const dram::machine_spec& spec : dram::paper_machines()) {
+    jobs.push_back({spec, "dramdig", {}, /*seed=*/2026});
+  }
+  std::printf("uncovering %zu machines across the worker pool...\n",
+              jobs.size());
+  narrator progress(jobs);
+  const auto outcomes = api::mapping_service().run(jobs, &progress);
+
   text_table table({"No.", "Microarch.", "DRAM", "Config.", "Bank functions",
                     "Rows", "Cols", "Time", "OK"});
-
-  for (const dram::machine_spec& spec : dram::paper_machines()) {
-    core::environment env(spec, /*seed=*/2026);
-    core::dramdig_tool tool(env);
-    const core::dramdig_report report = tool.run();
-
-    const bool ok = report.success && report.mapping &&
-                    report.mapping->equivalent_to(spec.mapping);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const dram::machine_spec& spec = jobs[i].machine;
+    const api::tool_result& r = outcomes[i].result;
     table.add_row({spec.label(), spec.microarchitecture,
                    spec.dram_description(), spec.config_quadruple(),
-                   report.mapping ? report.mapping->describe_functions() : "-",
-                   report.mapping
-                       ? dram::describe_bit_ranges(report.mapping->row_bits())
+                   r.mapping ? r.mapping->describe_functions() : "-",
+                   r.mapping
+                       ? dram::describe_bit_ranges(r.mapping->row_bits())
                        : "-",
-                   report.mapping
-                       ? dram::describe_bit_ranges(report.mapping->column_bits())
+                   r.mapping
+                       ? dram::describe_bit_ranges(r.mapping->column_bits())
                        : "-",
-                   fmt_duration_s(report.total_seconds),
-                   ok ? "yes" : "NO"});
+                   fmt_duration_s(r.virtual_seconds),
+                   r.verified ? "yes" : "NO"});
   }
-  std::printf("%s", table.render().c_str());
+  std::printf("\n%s", table.render().c_str());
   std::printf("\n(bank functions are one valid GF(2) basis; 'OK' compares "
               "span + bit sets against ground truth)\n");
   return 0;

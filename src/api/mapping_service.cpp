@@ -1,0 +1,89 @@
+#include "api/mapping_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+
+#include "core/environment.h"
+#include "util/expect.h"
+#include "util/parallel.h"
+
+namespace dramdig::api {
+
+mapping_service::mapping_service(service_config config) : config_(config) {}
+
+std::vector<job_outcome> mapping_service::run(
+    const std::vector<job_spec>& jobs, progress_observer* observer,
+    cancellation_token* cancel) const {
+  // Malformed specs fail the whole batch up front, before any worker runs
+  // (tool options were already validated when the builder set them).
+  for (const job_spec& job : jobs) {
+    DRAMDIG_EXPECTS(tool_registry::global().contains(job.tool));
+  }
+
+  std::vector<job_outcome> outcomes(jobs.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) outcomes[i].index = i;
+  if (jobs.empty()) return outcomes;
+
+  const unsigned threads =
+      config_.threads == 0 ? default_shard_count() : config_.threads;
+  const std::size_t workers = std::min<std::size_t>(threads, jobs.size());
+
+  // Worker slots drain a shared queue; each claimed job is self-contained
+  // (own environment, own rng), so the claim order never reaches the
+  // results — only the wall clock.
+  std::atomic<std::size_t> next{0};
+  std::mutex observer_mutex;
+  const auto notify = [&](const auto& fire) {
+    if (observer == nullptr) return;
+    std::scoped_lock lock(observer_mutex);
+    fire();
+  };
+
+  parallel_for_shards(
+      workers, static_cast<unsigned>(workers), [&](const shard&) {
+        while (true) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= jobs.size()) return;
+          const job_spec& job = jobs[i];
+          job_outcome& out = outcomes[i];
+          if (cancel != nullptr && cancel->cancelled()) {
+            out.state = job_state::cancelled;
+            out.result.tool = job.tool;
+            out.result.outcome = "cancelled";
+            notify([&] { observer->on_job_done(i, out); });
+            continue;
+          }
+          out.state = job_state::running;
+          notify([&] { observer->on_job_start(i, job); });
+          const auto t0 = std::chrono::steady_clock::now();
+          try {
+            core::environment env(job.machine, job.seed);
+            const auto tool = make_tool(job.tool, job.options);
+            mapping_tool::phase_hook hook;
+            if (observer != nullptr) {
+              hook = [&notify, &observer, i](std::string_view phase,
+                                             const core::phase_stats& delta) {
+                notify([&] { observer->on_job_phase(i, phase, delta); });
+              };
+            }
+            out.result = tool->run(env, hook);
+            out.state = job_state::completed;
+          } catch (const std::exception& e) {
+            out.state = job_state::failed;
+            out.result.tool = job.tool;
+            out.result.outcome = "error";
+            out.result.failure_reason = e.what();
+          }
+          out.wall_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+          notify([&] { observer->on_job_done(i, out); });
+        }
+      });
+  return outcomes;
+}
+
+}  // namespace dramdig::api

@@ -1,0 +1,104 @@
+// Concurrent job engine over the unified tool API.
+//
+// A batch of `job_spec`s — each naming a machine, a registry tool, its
+// options and an environment seed — is executed across a worker pool and
+// returned as one `job_outcome` per submission index. The determinism
+// contract: every job owns its environment and rng, so `outcome[i]` is a
+// pure function of `jobs[i]` alone and the batch output (wall time aside)
+// is bit-identical to a sequential loop on any thread count and under any
+// submission order. Workers drain a shared atomic queue (the thread plumbing
+// of util/parallel.h), so a long job — DRAMA burning its 2-hour budget on a
+// noisy unit — never serializes the jobs behind it.
+//
+// Progress observers receive job start / per-phase / done events, mutex-
+// serialized so one observer can safely aggregate across workers; a
+// cancellation token stops jobs that have not started while completed
+// results stay intact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/tool.h"
+#include "dram/presets.h"
+
+namespace dramdig::api {
+
+/// One unit of work. The machine spec is held by value: jobs own their
+/// device-under-test, which is what makes them order- and thread-agnostic.
+struct job_spec {
+  dram::machine_spec machine;
+  std::string tool;       ///< registry name ("dramdig", "drama", "xiao")
+  tool_options options{};
+  std::uint64_t seed = 1;  ///< environment seed (machine + OS randomness)
+};
+
+enum class job_state { pending, running, completed, failed, cancelled };
+
+struct job_outcome {
+  std::size_t index = 0;  ///< submission index (results merge by this)
+  job_state state = job_state::pending;
+  /// Filled for completed jobs; failed jobs carry the exception text in
+  /// result.failure_reason; cancelled jobs keep it default-initialized.
+  tool_result result;
+  /// Host wall time of the run — the only non-deterministic field, which is
+  /// why it lives here and not inside tool_result.
+  double wall_seconds = 0.0;
+};
+
+/// Job lifecycle events. Calls are serialized by the service (one observer
+/// mutex), so implementations may mutate shared state without locking; they
+/// arrive from worker threads, interleaved across jobs but ordered within
+/// one job (start, then phases, then done). A cancelled job never starts:
+/// it receives a single on_job_done whose outcome has state `cancelled`
+/// and a result carrying only the tool name and outcome label.
+class progress_observer {
+ public:
+  virtual ~progress_observer() = default;
+  virtual void on_job_start(std::size_t /*index*/, const job_spec& /*job*/) {}
+  virtual void on_job_phase(std::size_t /*index*/, std::string_view /*phase*/,
+                            const core::phase_stats& /*delta*/) {}
+  virtual void on_job_done(std::size_t /*index*/,
+                           const job_outcome& /*outcome*/) {}
+};
+
+/// Cooperative cancellation: flip once, observed by workers before each
+/// job claim. Already-running jobs finish (tools have no abort points —
+/// same contract as the real tools' kill-at-2-hours workflow).
+class cancellation_token {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+struct service_config {
+  /// Worker threads; 0 means default_shard_count(). 1 reproduces a plain
+  /// sequential loop exactly (the determinism tests pin this).
+  unsigned threads = 0;
+};
+
+class mapping_service {
+ public:
+  explicit mapping_service(service_config config = {});
+
+  /// Execute the batch; returns one outcome per job, by submission index.
+  /// Throws contract_violation up front if any spec names an unknown tool;
+  /// exceptions inside a job mark that job failed without sinking the batch.
+  [[nodiscard]] std::vector<job_outcome> run(
+      const std::vector<job_spec>& jobs,
+      progress_observer* observer = nullptr,
+      cancellation_token* cancel = nullptr) const;
+
+ private:
+  service_config config_;
+};
+
+}  // namespace dramdig::api

@@ -1,0 +1,314 @@
+#include "api/tool.h"
+
+#include <utility>
+
+#include "util/expect.h"
+#include "util/gf2.h"
+#include "util/json.h"
+
+namespace dramdig::api {
+
+namespace {
+
+/// Forward one phase event to up to two consumers (a config-supplied hook
+/// plus the run() caller's hook).
+core::phase_callback chain(core::phase_callback first,
+                           const mapping_tool::phase_hook& second) {
+  if (!first) return second;
+  if (!second) return first;
+  return [first = std::move(first), second](std::string_view phase,
+                                            const core::phase_stats& delta) {
+    first(phase, delta);
+    second(phase, delta);
+  };
+}
+
+/// Access deltas are metered per run so a result is comparable whether the
+/// environment is fresh (service jobs) or reused (a REPL-style driver).
+class access_meter {
+ public:
+  explicit access_meter(core::environment& env)
+      : env_(env), a0_(env.mach().controller().access_count()) {}
+  [[nodiscard]] std::uint64_t delta() const {
+    return env_.mach().controller().access_count() - a0_;
+  }
+
+ private:
+  core::environment& env_;
+  std::uint64_t a0_;
+};
+
+class dramdig_adapter final : public mapping_tool {
+ public:
+  explicit dramdig_adapter(const tool_options& options) : options_(options) {}
+
+  [[nodiscard]] tool_description describe() const override {
+    return {"dramdig", "DRAMDig",
+            "knowledge-assisted three-step pipeline (this paper)"};
+  }
+
+  [[nodiscard]] tool_result run(core::environment& env,
+                                const phase_hook& hook) override {
+    core::dramdig_config cfg = options_.dramdig();
+    cfg.on_phase = chain(cfg.on_phase, hook);
+    access_meter accesses(env);
+    const core::dramdig_report report = core::dramdig_tool(env, cfg).run();
+
+    tool_result out;
+    out.tool = "dramdig";
+    out.success = report.success;
+    out.mapping = report.mapping;
+    out.verified = report.success && report.mapping &&
+                   report.mapping->equivalent_to(env.spec().mapping);
+    out.outcome = report.success ? "success" : "failed";
+    out.detail = "pool " + std::to_string(report.pool_size) + ", " +
+                 std::to_string(report.pile_count) + " piles, " +
+                 std::to_string(report.attempts_used) + " attempt(s)";
+    out.failure_reason = report.failure_reason;
+    out.phases = {
+        {"calibration", report.calibration.seconds,
+         report.calibration.measurements, report.calibration.pairs_used},
+        {"coarse", report.coarse.seconds, report.coarse.measurements, 0},
+        {"selection", report.selection.seconds, report.selection.measurements,
+         0},
+        {"partition", report.partition.seconds, report.partition.measurements,
+         0},
+        {"functions", report.functions.seconds, report.functions.measurements,
+         0},
+        {"fine", report.fine.seconds, report.fine.measurements, 0},
+    };
+    out.virtual_seconds = report.total_seconds;
+    out.measurement_count = report.total_measurements;
+    out.measurements_saved = report.measurements_saved;
+    out.access_count = accesses.delta();
+    return out;
+  }
+
+ private:
+  tool_options options_;
+};
+
+class drama_adapter final : public mapping_tool {
+ public:
+  explicit drama_adapter(const tool_options& options) : options_(options) {}
+
+  [[nodiscard]] tool_description describe() const override {
+    return {"drama", "DRAMA (Pessl et al.)",
+            "blind clustering + XOR brute force with trial agreement"};
+  }
+
+  [[nodiscard]] tool_result run(core::environment& env,
+                                const phase_hook& hook) override {
+    access_meter accesses(env);
+    const baselines::drama_report report =
+        baselines::drama_tool(env, options_.drama()).run();
+
+    tool_result out;
+    out.tool = "drama";
+    out.success = report.completed;
+    out.mapping = report.mapping;
+    // DRAMA's claim is the bank-function span; its fixed 13-column row
+    // heuristic is an assumption, not an output, so span match is the
+    // right correctness notion (the one Table I scores).
+    out.verified =
+        report.completed &&
+        gf2::same_span(report.functions, env.spec().mapping.bank_functions());
+    out.outcome = report.completed   ? "completed"
+                  : report.timed_out ? "timeout"
+                                     : "no agreement";
+    out.detail = std::to_string(report.trials_run) + " trials";
+    if (!report.completed) {
+      out.failure_reason = report.timed_out
+                               ? "budget expired without two agreeing trials"
+                               : "no two consecutive trials agreed";
+    }
+    out.phases = {{"trials", report.total_seconds, report.total_measurements,
+                   0}};
+    if (hook) {
+      hook("trials", core::phase_stats{report.total_seconds,
+                                       report.total_measurements, 0});
+    }
+    out.virtual_seconds = report.total_seconds;
+    out.measurement_count = report.total_measurements;
+    out.measurements_saved = report.measurements_saved;
+    out.access_count = accesses.delta();
+    return out;
+  }
+
+ private:
+  tool_options options_;
+};
+
+class xiao_adapter final : public mapping_tool {
+ public:
+  explicit xiao_adapter(const tool_options& options) : options_(options) {}
+
+  [[nodiscard]] tool_description describe() const override {
+    return {"xiao", "Xiao et al.",
+            "verified microarchitecture templates + stride scan"};
+  }
+
+  [[nodiscard]] tool_result run(core::environment& env,
+                                const phase_hook& hook) override {
+    access_meter accesses(env);
+    const baselines::xiao_report report =
+        baselines::xiao_tool(env, options_.xiao()).run();
+
+    tool_result out;
+    out.tool = "xiao";
+    out.success = report.success;
+    out.mapping = report.mapping;
+    out.verified = report.success && report.mapping &&
+                   report.mapping->equivalent_to(env.spec().mapping);
+    out.outcome = report.success   ? "success"
+                  : report.stalled ? "stuck"
+                                   : "failed";
+    out.detail = report.note;
+    if (!report.success) {
+      out.failure_reason = report.note.empty() ? "no mapping produced"
+                                               : report.note;
+    }
+    out.phases = {{"scan", report.total_seconds, report.total_measurements,
+                   0}};
+    if (hook) {
+      hook("scan", core::phase_stats{report.total_seconds,
+                                     report.total_measurements, 0});
+    }
+    out.virtual_seconds = report.total_seconds;
+    out.measurement_count = report.total_measurements;
+    out.access_count = accesses.delta();
+    return out;
+  }
+
+ private:
+  tool_options options_;
+};
+
+}  // namespace
+
+void tool_result::to_json(json_writer& w) const {
+  w.begin_object();
+  w.key("tool").value(tool);
+  w.key("success").value(success);
+  w.key("verified").value(verified);
+  w.key("outcome").value(outcome);
+  w.key("failure_reason").value(failure_reason);
+  w.key("detail").value(detail);
+  w.key("virtual_seconds").value(virtual_seconds);
+  w.key("measurement_count").value(measurement_count);
+  w.key("measurements_saved").value(measurements_saved);
+  w.key("access_count").value(access_count);
+  w.key("mapping");
+  if (mapping) {
+    w.begin_object();
+    w.key("functions").value(mapping->describe_functions());
+    w.key("row_bits").value(dram::describe_bit_ranges(mapping->row_bits()));
+    w.key("column_bits")
+        .value(dram::describe_bit_ranges(mapping->column_bits()));
+    w.end_object();
+  } else {
+    w.null_value();
+  }
+  w.key("phases").begin_array();
+  for (const tool_phase& p : phases) {
+    w.begin_object();
+    w.key("name").value(p.name);
+    w.key("seconds").value(p.seconds);
+    w.key("measurements").value(p.measurements);
+    w.key("pairs_used").value(p.pairs_used);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string tool_result::to_json_string() const {
+  json_writer w;
+  to_json(w);
+  return w.str();
+}
+
+tool_options& tool_options::with_dramdig(core::dramdig_config cfg) {
+  DRAMDIG_EXPECTS(cfg.buffer_fraction > 0.0 && cfg.buffer_fraction < 0.95);
+  DRAMDIG_EXPECTS(cfg.max_attempts >= 1);
+  dramdig_ = std::move(cfg);
+  return *this;
+}
+
+tool_options& tool_options::with_drama(baselines::drama_config cfg) {
+  DRAMDIG_EXPECTS(cfg.pool_size >= 64);
+  DRAMDIG_EXPECTS(cfg.max_function_bits >= 1);
+  drama_ = std::move(cfg);
+  return *this;
+}
+
+tool_options& tool_options::with_xiao(baselines::xiao_config cfg) {
+  DRAMDIG_EXPECTS(cfg.rounds_per_measurement >= 1);
+  DRAMDIG_EXPECTS(cfg.verification_pairs >= 1);
+  xiao_ = std::move(cfg);
+  return *this;
+}
+
+tool_options& tool_options::with_tool_seed(std::uint64_t seed) {
+  dramdig_.tool_seed = seed;
+  drama_.tool_seed = seed;
+  xiao_.tool_seed = seed;
+  return *this;
+}
+
+tool_registry& tool_registry::global() {
+  static tool_registry* instance = [] {
+    auto* r = new tool_registry();
+    r->add("dramdig", [](const tool_options& o) {
+      return std::make_unique<dramdig_adapter>(o);
+    });
+    r->add("drama", [](const tool_options& o) {
+      return std::make_unique<drama_adapter>(o);
+    });
+    r->add("xiao", [](const tool_options& o) {
+      return std::make_unique<xiao_adapter>(o);
+    });
+    return r;
+  }();
+  return *instance;
+}
+
+void tool_registry::add(const std::string& name, factory make) {
+  DRAMDIG_EXPECTS(!name.empty());
+  DRAMDIG_EXPECTS(make != nullptr);
+  std::scoped_lock lock(mutex_);
+  DRAMDIG_EXPECTS(!factories_.contains(name));
+  factories_.emplace(name, std::move(make));
+}
+
+bool tool_registry::contains(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  return factories_.contains(name);
+}
+
+std::vector<std::string> tool_registry::names() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, make] : factories_) out.push_back(name);
+  return out;  // std::map iteration order is already sorted
+}
+
+std::unique_ptr<mapping_tool> tool_registry::make(
+    const std::string& name, const tool_options& options) const {
+  factory make;
+  {
+    std::scoped_lock lock(mutex_);
+    const auto it = factories_.find(name);
+    DRAMDIG_EXPECTS(it != factories_.end());
+    make = it->second;
+  }
+  return make(options);
+}
+
+std::unique_ptr<mapping_tool> make_tool(const std::string& name,
+                                        const tool_options& options) {
+  return tool_registry::global().make(name, options);
+}
+
+}  // namespace dramdig::api

@@ -1,0 +1,166 @@
+// The unified tool API: every mapping-recovery tool in the project behind
+// one polymorphic interface.
+//
+// The paper frames DRAMDig as one of several timing-based
+// reverse-engineering tools and benchmarks it against DRAMA (Pessl et al.)
+// and Xiao et al.; Knock-Knock-style platforms go further and make the
+// recovery method a pluggable strategy. This header is that seam:
+//
+//   * `mapping_tool`   — describe() + run(environment&) returning a
+//                        `tool_result`, the one result schema every driver
+//                        (bench, example, CI, service) consumes;
+//   * `tool_options`   — a validated builder carrying the per-tool configs
+//                        a job may need (bad configs throw at set time, not
+//                        inside a worker thread);
+//   * `tool_registry`  — a string-keyed factory ("dramdig", "drama",
+//                        "xiao" built in; downstream tools can add their
+//                        own), so drivers and the mapping_service select
+//                        tools by name.
+//
+// Adapters translate each tool's bespoke report into `tool_result` and are
+// the only place that knows the per-tool success/verification semantics
+// (e.g. DRAMA "completed" = two agreeing trials, verified = function span
+// matches; a DRAMA hypothesis never matches the truth's row bits, so full
+// mapping equivalence would be the wrong check for it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/drama.h"
+#include "baselines/xiao.h"
+#include "core/dramdig.h"
+#include "core/environment.h"
+#include "dram/mapping.h"
+
+namespace dramdig {
+class json_writer;
+}
+
+namespace dramdig::api {
+
+/// One pipeline phase's aggregate cost within a run.
+struct tool_phase {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t measurements = 0;
+  std::uint64_t pairs_used = 0;  ///< nonzero only for adaptive calibration
+};
+
+/// The unified run record. Every field is a pure function of (machine spec,
+/// environment seed, tool options) — wall-clock time deliberately lives
+/// outside, on the service's `job_outcome` — so two results can be compared
+/// bit-for-bit to prove determinism.
+struct tool_result {
+  std::string tool;       ///< registry name of the tool that produced it
+  bool success = false;   ///< the tool's own completion claim
+  /// Output checked against the simulated ground truth, with the per-tool
+  /// notion of "correct" (DRAMDig/Xiao: full mapping equivalence; DRAMA:
+  /// bank-function span match — its fixed row heuristic is not the claim).
+  bool verified = false;
+  std::optional<dram::address_mapping> mapping;
+  std::string outcome;         ///< short status label ("success", "timeout", ...)
+  std::string detail;          ///< tool-specific note ("pool 4096, 8 piles")
+  std::string failure_reason;  ///< empty on success
+  std::vector<tool_phase> phases;
+  double virtual_seconds = 0.0;
+  std::uint64_t measurement_count = 0;
+  std::uint64_t measurements_saved = 0;
+  std::uint64_t access_count = 0;
+
+  /// Append this result as one JSON object (the machine-readable format
+  /// every driver emits; see ROADMAP "Unified tool API" for the schema).
+  void to_json(json_writer& w) const;
+  [[nodiscard]] std::string to_json_string() const;
+};
+
+struct tool_description {
+  std::string name;     ///< registry key
+  std::string title;    ///< display name ("DRAMA (Pessl et al.)")
+  std::string summary;  ///< one-line method description
+};
+
+/// Validated carrier for the per-tool configurations. Setters re-check the
+/// same contracts the tool constructors enforce and throw contract_violation
+/// immediately, so a malformed job spec fails at submission.
+class tool_options {
+ public:
+  tool_options() = default;
+
+  tool_options& with_dramdig(core::dramdig_config cfg);
+  tool_options& with_drama(baselines::drama_config cfg);
+  tool_options& with_xiao(baselines::xiao_config cfg);
+  /// Reseed every per-tool config at once (their `tool_seed` fields).
+  tool_options& with_tool_seed(std::uint64_t seed);
+
+  [[nodiscard]] const core::dramdig_config& dramdig() const noexcept {
+    return dramdig_;
+  }
+  [[nodiscard]] const baselines::drama_config& drama() const noexcept {
+    return drama_;
+  }
+  [[nodiscard]] const baselines::xiao_config& xiao() const noexcept {
+    return xiao_;
+  }
+
+ private:
+  core::dramdig_config dramdig_{};
+  baselines::drama_config drama_{};
+  baselines::xiao_config xiao_{};
+};
+
+/// A mapping-recovery tool. run() owns nothing: the caller provides the
+/// device-under-test and the tool interacts with it exclusively through the
+/// timing channel and the simulated OS, like every concrete tool does.
+class mapping_tool {
+ public:
+  /// Per-phase progress events, streamed while run() executes (same
+  /// signature as core::phase_callback; tools without internal phases emit
+  /// a single terminal event).
+  using phase_hook = core::phase_callback;
+
+  virtual ~mapping_tool() = default;
+
+  [[nodiscard]] virtual tool_description describe() const = 0;
+  [[nodiscard]] virtual tool_result run(core::environment& env,
+                                        const phase_hook& hook) = 0;
+  [[nodiscard]] tool_result run(core::environment& env) {
+    return run(env, phase_hook{});
+  }
+};
+
+/// String-keyed tool factory. `global()` is the process-wide instance,
+/// pre-loaded with the three built-in tools; tests and downstream embedders
+/// can also hold private instances.
+class tool_registry {
+ public:
+  using factory =
+      std::function<std::unique_ptr<mapping_tool>(const tool_options&)>;
+
+  [[nodiscard]] static tool_registry& global();
+
+  /// Throws contract_violation on an empty name or a duplicate.
+  void add(const std::string& name, factory make);
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;  ///< sorted
+  /// Throws contract_violation for an unknown name.
+  [[nodiscard]] std::unique_ptr<mapping_tool> make(
+      const std::string& name, const tool_options& options = {}) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, factory> factories_;
+};
+
+/// Shorthand for tool_registry::global().make(...).
+[[nodiscard]] std::unique_ptr<mapping_tool> make_tool(
+    const std::string& name, const tool_options& options = {});
+
+}  // namespace dramdig::api

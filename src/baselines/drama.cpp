@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <set>
 
 #include "core/classifier.h"
 #include "core/measurement_plan.h"
@@ -40,6 +41,46 @@ double drama_threshold(timing::channel& channel,
   histogram h(0.0, 700.0, 140);
   h.add_all(samples);
   return h.bin_center(h.mode_bin()) * factor;
+}
+
+/// DRAMA's published mask acceptance: a statistical pre-filter (a random
+/// non-function mask violates ~50% of a set; 11+ minority hits in a
+/// 32-member sample already puts it beyond any tolerance this search
+/// accepts, while a true function under realistic pollution essentially
+/// never trips it), then majority parity per set with a per-set violation
+/// cap, an aggregate violation tolerance, and the discrimination
+/// requirement (both parities must occur across sets). Shared verbatim by
+/// the brute-force sweep and the null-space ablation so the two paths
+/// differ only in how candidates are generated.
+bool mask_accepted(std::uint64_t mask,
+                   const std::vector<std::vector<std::uint64_t>>& sets,
+                   std::size_t total_addresses, const drama_config& cfg) {
+  for (const auto& s : sets) {
+    const std::size_t probe = std::min<std::size_t>(32, s.size());
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < probe; ++i) ones += parity(s[i], mask);
+    if (std::min(ones, probe - ones) >= 11) return false;
+  }
+  std::size_t total_violations = 0;
+  bool saw_zero = false, saw_one = false;
+  for (const auto& s : sets) {
+    // Majority parity per set, counting the minority as violations.
+    std::size_t ones = 0;
+    for (std::uint64_t a : s) ones += parity(a, mask);
+    const std::size_t minority = std::min(ones, s.size() - ones);
+    if (static_cast<double>(minority) >
+        cfg.per_set_violation_cap * static_cast<double>(s.size())) {
+      return false;  // hopeless in this set
+    }
+    total_violations += minority;
+    (ones * 2 > s.size() ? saw_one : saw_zero) = true;
+  }
+  if (static_cast<double>(total_violations) >
+      cfg.violation_tolerance * static_cast<double>(total_addresses)) {
+    return false;
+  }
+  // A function must discriminate: both parities across sets.
+  return saw_zero && saw_one;
 }
 
 }  // namespace
@@ -96,44 +137,76 @@ drama_trial drama_tool::run_trial(const os::mapping_region& buffer, rng& r) {
   for (const auto& s : sets) total_addresses += s.size();
 
   std::vector<std::uint64_t> candidates;
-  std::uint64_t masks_tried = 0;
-  for_each_bit_combination(
-      positions, 1, config_.max_function_bits, [&](std::uint64_t mask) {
-        ++masks_tried;
-        // Statistical pre-filter: a random (non-function) mask violates
-        // ~50% of a set; 11+ minority hits in a 32-member sample already
-        // puts it beyond any tolerance this search accepts, while a true
-        // function under realistic pollution essentially never trips it.
-        for (const auto& s : sets) {
-          const std::size_t probe = std::min<std::size_t>(32, s.size());
-          std::size_t ones = 0;
-          for (std::size_t i = 0; i < probe; ++i) ones += parity(s[i], mask);
-          if (std::min(ones, probe - ones) >= 11) return true;  // next mask
-        }
-        std::size_t total_violations = 0;
-        bool saw_zero = false, saw_one = false;
-        for (const auto& s : sets) {
-          // Majority parity per set, counting the minority as violations.
-          std::size_t ones = 0;
-          for (std::uint64_t a : s) ones += parity(a, mask);
-          const std::size_t minority = std::min(ones, s.size() - ones);
-          if (static_cast<double>(minority) >
-              config_.per_set_violation_cap * static_cast<double>(s.size())) {
-            return true;  // hopeless in this set, next mask
+  std::uint64_t cpu_work = 0;  ///< charged to the virtual clock per unit
+  if (config_.use_nullspace) {
+    // The algebra ablation: a mask is constant on a clean set iff it
+    // annihilates each member's XOR difference to the set's pivot, so the
+    // candidate space is the null space of a difference matrix restricted
+    // to the candidate bits. Single-sample clustering leaves ~1% polluted
+    // members even on clean machines, and one polluted difference ejects a
+    // true function from a strict null space — so the differences are
+    // split into deterministic index-group assemblies (each set member
+    // joins group j mod G), one null space per assembly, and the published
+    // acceptance filter arbitrates the union of the spans. A polluted
+    // member corrupts only its own assembly; the clean assemblies recover
+    // every mask the filter tolerates, while the filter still rejects any
+    // spurious span member, so the candidate set matches the brute-force
+    // sweep's (brute force additionally burns CPU on the ~2^20 masks that
+    // never came close).
+    std::uint64_t support = 0;
+    for (unsigned b : positions) support |= std::uint64_t{1} << b;
+    std::size_t smallest_set = sets.front().size();
+    for (const auto& s : sets) smallest_set = std::min(smallest_set, s.size());
+    // Enough members per group for each assembly to pin the null space,
+    // enough groups to quarantine the polluted minority.
+    const std::size_t assemblies =
+        std::clamp<std::size_t>(smallest_set / 4, 4, 32);
+    std::set<std::uint64_t> tested, accepted;
+    for (std::size_t g = 0; g < assemblies; ++g) {
+      gf2::matrix diffs;
+      for (const auto& s : sets) {
+        bool have_pivot = false;
+        std::uint64_t pivot = 0;
+        for (std::size_t j = g; j < s.size(); j += assemblies) {
+          if (!have_pivot) {
+            pivot = s[j];
+            have_pivot = true;
+          } else {
+            diffs.push_back((s[j] ^ pivot) & support);
           }
-          total_violations += minority;
-          (ones * 2 > s.size() ? saw_one : saw_zero) = true;
         }
-        if (static_cast<double>(total_violations) >
-            config_.violation_tolerance * static_cast<double>(total_addresses)) {
+      }
+      if (diffs.empty()) continue;
+      const gf2::matrix basis = gf2::nullspace(diffs, support);
+      cpu_work += diffs.size();  // one row reduction per difference
+      // An under-determined assembly would explode the span; skip it (the
+      // other assemblies carry the trial).
+      if (basis.size() > 16) continue;
+      for (std::uint64_t mask : gf2::enumerate_span(basis)) {
+        ++cpu_work;
+        if (static_cast<unsigned>(std::popcount(mask)) >
+            config_.max_function_bits) {
+          continue;  // the sweep never considers wider masks
+        }
+        if (!tested.insert(mask).second) continue;
+        if (mask_accepted(mask, sets, total_addresses, config_)) {
+          accepted.insert(mask);
+        }
+      }
+    }
+    candidates.assign(accepted.begin(), accepted.end());
+  } else {
+    for_each_bit_combination(
+        positions, 1, config_.max_function_bits, [&](std::uint64_t mask) {
+          ++cpu_work;
+          if (mask_accepted(mask, sets, total_addresses, config_)) {
+            candidates.push_back(mask);
+          }
           return true;
-        }
-        // A function must discriminate: both parities across sets.
-        if (saw_zero && saw_one) candidates.push_back(mask);
-        return true;
-      });
+        });
+  }
   mc.clock().advance_ns(static_cast<std::uint64_t>(
-      static_cast<double>(masks_tried) * config_.cpu_ns_per_mask));
+      static_cast<double>(cpu_work) * config_.cpu_ns_per_mask));
 
   // Minimal-weight basis for reporting; echelon form for run-to-run
   // comparison (two trials agree iff they found the same span). DRAMA has

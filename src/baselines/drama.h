@@ -45,6 +45,16 @@ struct drama_config {
   unsigned agreements_required = 2;  ///< consecutive equal outputs
   double timeout_seconds = 7200.0;   ///< the paper killed it at ~2 hours
   double cpu_ns_per_mask = 1500.0;   ///< virtual cost of the brute force
+  /// Ablation arm ("what if DRAMA had the algebra"): recover each trial's
+  /// candidate masks from the GF(2) null space of the clusters'
+  /// pivot-difference matrix instead of enumerating every
+  /// <=max_function_bits mask over all physical bits, then re-apply the
+  /// published acceptance filter. Identical output on clean trials (the
+  /// null space is exactly the masks constant on every set); on polluted
+  /// trials the strict algebra can drop a tolerated-noise function the
+  /// sweep would keep. Off by default — the legacy sweep is the published
+  /// tool and the differential oracle.
+  bool use_nullspace = false;
   std::uint64_t tool_seed = 1;
 };
 

@@ -14,15 +14,23 @@ namespace dramdig::core {
 
 namespace {
 
-/// Phase accounting: capture clock/measurement deltas around a phase.
+/// Phase accounting: capture clock/measurement deltas around a phase and
+/// publish each occurrence as a phase event.
 class phase_meter {
  public:
-  phase_meter(sim::memory_controller& mc, phase_stats& stats)
-      : mc_(mc), stats_(stats), t0_(mc.clock().now_ns()),
-        m0_(mc.measurement_count()) {}
+  phase_meter(sim::memory_controller& mc, phase_stats& stats, const char* name,
+              const phase_callback& notify)
+      : mc_(mc), stats_(stats), name_(name), notify_(notify),
+        t0_(mc.clock().now_ns()), m0_(mc.measurement_count()),
+        p0_(stats.pairs_used) {}
   ~phase_meter() {
-    stats_.seconds += mc_.clock().seconds_since(t0_);
-    stats_.measurements += mc_.measurement_count() - m0_;
+    phase_stats delta;
+    delta.seconds = mc_.clock().seconds_since(t0_);
+    delta.measurements = mc_.measurement_count() - m0_;
+    delta.pairs_used = stats_.pairs_used - p0_;
+    stats_.seconds += delta.seconds;
+    stats_.measurements += delta.measurements;
+    if (notify_) notify_(name_, delta);
   }
   phase_meter(const phase_meter&) = delete;
   phase_meter& operator=(const phase_meter&) = delete;
@@ -30,9 +38,22 @@ class phase_meter {
  private:
   sim::memory_controller& mc_;
   phase_stats& stats_;
+  const char* name_;
+  const phase_callback& notify_;
   std::uint64_t t0_;
   std::uint64_t m0_;
+  std::uint64_t p0_;
 };
+
+/// The default phase consumer: the per-phase narration examples enable at
+/// info level (the service replaces it with its observer hook).
+void log_phase_event(std::string_view phase, const phase_stats& delta) {
+  char buf[112];
+  std::snprintf(buf, sizeof buf, "dramdig phase: %.*s %.1fs/%llum",
+                static_cast<int>(phase.size()), phase.data(), delta.seconds,
+                static_cast<unsigned long long>(delta.measurements));
+  log_info(buf);
+}
 
 }  // namespace
 
@@ -57,25 +78,15 @@ dramdig_report dramdig_tool::run() {
   // re-resolves surviving classes without measurements.
   measurement_plan plan(channel, config_.plan);
   bank_classifier engine(plan);
+  // Every phase occurrence is published through one event stream (the Fig. 2
+  // decomposition): observers wired in by the mapping_service see the run
+  // live; without a hook the events fall back to info-level narration.
+  const phase_callback notify =
+      config_.on_phase ? config_.on_phase : phase_callback(log_phase_event);
   const auto finish = [&]() {
     report.total_seconds = mc.clock().seconds_since(t_begin);
     report.total_measurements = mc.measurement_count() - m_begin;
     report.measurements_saved = plan.stats().measurements_saved;
-    // One-line phase breakdown (the Fig. 2 decomposition) so a perf
-    // regression in any stage is visible without the bench harness.
-    const auto phase = [](const char* name, const phase_stats& s) {
-      char buf[96];
-      std::snprintf(buf, sizeof buf, "%s %.1fs/%llum", name, s.seconds,
-                    static_cast<unsigned long long>(s.measurements));
-      return std::string(buf);
-    };
-    log_info("dramdig phase times (virtual s / measurements): " +
-             phase("calibration", report.calibration) + ", " +
-             phase("coarse", report.coarse) + ", " +
-             phase("selection", report.selection) + ", " +
-             phase("partition", report.partition) + ", " +
-             phase("functions", report.functions) + ", " +
-             phase("fine", report.fine));
   };
 
   // --- Domain knowledge ---------------------------------------------------
@@ -90,7 +101,7 @@ dramdig_report dramdig_tool::run() {
       static_cast<std::uint64_t>(config_.buffer_fraction *
                                  static_cast<double>(info.total_bytes)));
   {
-    phase_meter meter(mc, report.calibration);
+    phase_meter meter(mc, report.calibration, "calibration", notify);
     const auto pool = sample_addresses(buffer, 2048, r);
     report.threshold_ns = channel.calibrate(pool);
     report.calibration.pairs_used = channel.calibration_pairs_used();
@@ -100,7 +111,7 @@ dramdig_report dramdig_tool::run() {
   // --- Step 1: coarse detection --------------------------------------------
   coarse_result coarse;
   {
-    phase_meter meter(mc, report.coarse);
+    phase_meter meter(mc, report.coarse, "coarse", notify);
     coarse = run_coarse_detection(plan, buffer, knowledge, r,
                                   config_.coarse);
   }
@@ -114,7 +125,7 @@ dramdig_report dramdig_tool::run() {
   // --- Step 2: selection ---------------------------------------------------
   selection_result selection;
   {
-    phase_meter meter(mc, report.selection);
+    phase_meter meter(mc, report.selection, "selection", notify);
     selection = select_addresses(buffer, coarse.bank_bits);
   }
   if (!selection.found) {
@@ -168,7 +179,7 @@ dramdig_report dramdig_tool::run() {
         bits.push_back(coarse.row_bits[i]);
       }
       std::sort(bits.begin(), bits.end());
-      phase_meter meter(mc, report.selection);
+      phase_meter meter(mc, report.selection, "selection", notify);
       const selection_result wider = select_addresses(buffer, bits);
       if (wider.found) {
         pool = wider.pool;
@@ -179,13 +190,13 @@ dramdig_report dramdig_tool::run() {
       if (pool.size() < banks * 2) continue;  // cannot resolve
       partition_outcome po;
       {
-        phase_meter meter(mc, report.partition);
+        phase_meter meter(mc, report.partition, "partition", notify);
         po = partition_pool(engine, pool, banks, r, config_.partition);
       }
       if (!po.success) continue;
       function_outcome fo;
       {
-        phase_meter meter(mc, report.functions);
+        phase_meter meter(mc, report.functions, "functions", notify);
         fo = detect_functions(po.piles, coarse.bank_bits, banks,
                               mc.clock(), config_.functions);
       }
@@ -211,7 +222,7 @@ dramdig_report dramdig_tool::run() {
   // --- Step 3: fine-grained detection --------------------------------------
   fine_outcome fine;
   if (config_.use_spec_counts) {
-    phase_meter meter(mc, report.fine);
+    phase_meter meter(mc, report.fine, "fine", notify);
     fine = run_fine_detection(plan, buffer, knowledge, coarse,
                               functions.functions, r, config_.fine);
   } else {

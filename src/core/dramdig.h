@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/address_selection.h"
 #include "core/coarse_detect.h"
@@ -26,6 +28,15 @@
 #include "timing/channel.h"
 
 namespace dramdig::core {
+
+struct phase_stats;
+
+/// Progress hook: invoked after a pipeline phase completes with that
+/// occurrence's clock/measurement delta. A phase can fire more than once in
+/// one run (selection re-runs on widened pools, partition once per
+/// bank-count attempt), so consumers aggregate by name if they want totals.
+using phase_callback =
+    std::function<void(std::string_view phase, const phase_stats& delta)>;
 
 struct dramdig_config {
   /// Fraction of installed memory the tool maps (the real tool allocates
@@ -49,6 +60,10 @@ struct dramdig_config {
   bool use_system_info = true;
   bool use_spec_counts = true;
   std::uint64_t tool_seed = 1;
+  /// Per-phase progress events. When unset, the tool narrates each phase at
+  /// info log level (the timing log examples show); the mapping_service
+  /// installs its own hook here to stream job progress to observers.
+  phase_callback on_phase{};
 };
 
 struct phase_stats {

@@ -2,8 +2,22 @@
 //
 //   #include "dramdig.h"
 //
+// The one-tool path — construct a device-under-test and run a tool on it:
+//
 //   dramdig::core::environment env(dramdig::dram::machine_by_number(2), 42);
-//   auto report = dramdig::core::dramdig_tool(env).run();
+//   auto result = dramdig::api::make_tool("dramdig")->run(env);
+//
+// The many-run path — every bench and multi-machine example goes through
+// the job engine, which executes (machine, tool, options, seed) specs
+// across a worker pool with results bit-identical to a sequential loop:
+//
+//   dramdig::api::mapping_service service({.threads = 8});
+//   auto outcomes = service.run(jobs);            // one per submission index
+//   outcomes[0].result.to_json(writer);           // unified result schema
+//
+// (The concrete tool classes — core::dramdig_tool, baselines::drama_tool,
+// baselines::xiao_tool — remain directly usable; the api layer wraps them
+// without changing a single measurement.)
 //
 // Layering (each header is independently includable):
 //   util     -> gf2 algebra, bit ops, rng, stats, histograms
@@ -14,9 +28,13 @@
 //   timing   -> the SBDR timing primitive
 //   core     -> the DRAMDig pipeline (this paper's contribution)
 //   baselines-> DRAMA and Xiao et al. comparison tools
+//   api      -> the unified mapping_tool interface, tool registry and the
+//               concurrent mapping_service job engine
 //   rowhammer-> the hypothesis-driven hammer harness
 #pragma once
 
+#include "api/mapping_service.h" // IWYU pragma: export
+#include "api/tool.h"            // IWYU pragma: export
 #include "baselines/drama.h"     // IWYU pragma: export
 #include "baselines/xiao.h"      // IWYU pragma: export
 #include "core/dramdig.h"        // IWYU pragma: export
@@ -30,4 +48,5 @@
 #include "sim/profiles.h"        // IWYU pragma: export
 #include "sysinfo/system_info.h" // IWYU pragma: export
 #include "timing/channel.h"      // IWYU pragma: export
+#include "util/json.h"           // IWYU pragma: export
 #include "util/log.h"            // IWYU pragma: export

@@ -46,6 +46,9 @@ class json_writer {
     return *this;
   }
 
+  /// JSON null — e.g. a tool_result with no recovered mapping.
+  json_writer& null_value() { return scalar("null"); }
+
   json_writer& value(const std::string& v) { return scalar(quote(v)); }
   json_writer& value(const char* v) { return scalar(quote(v)); }
   json_writer& value(bool v) { return scalar(v ? "true" : "false"); }

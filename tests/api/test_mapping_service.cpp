@@ -1,0 +1,218 @@
+// The mapping_service determinism contract: batch results are bit-identical
+// to direct sequential tool calls on any worker count and under any
+// submission order; observers see ordered per-job events; cancellation
+// stops pending jobs without touching completed results.
+#include "api/mapping_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "baselines/drama.h"
+#include "baselines/xiao.h"
+#include "core/dramdig.h"
+#include "core/environment.h"
+#include "dram/presets.h"
+#include "util/expect.h"
+
+namespace dramdig::api {
+namespace {
+
+baselines::drama_config fast_drama() {
+  baselines::drama_config cfg{};
+  cfg.pool_size = 2000;
+  cfg.calibration_pairs = 300;
+  cfg.max_trials = 6;
+  return cfg;
+}
+
+/// Everything deterministic about an outcome (wall time excluded) in one
+/// comparable string: the JSON already serializes the full result schema.
+std::string outcome_key(const job_outcome& outcome) {
+  return std::to_string(static_cast<int>(outcome.state)) + "|" +
+         outcome.result.to_json_string();
+}
+
+/// The reference batch for the determinism tests: DRAMDig on three paper
+/// machines plus one DRAMA and one Xiao job, mixed seeds.
+std::vector<job_spec> reference_jobs() {
+  std::vector<job_spec> jobs;
+  for (int machine : {1, 4, 7}) {
+    jobs.push_back({dram::machine_by_number(machine), "dramdig", {},
+                    static_cast<std::uint64_t>(40 + machine)});
+  }
+  jobs.push_back({dram::machine_by_number(1), "drama",
+                  tool_options{}.with_drama(fast_drama()), 5});
+  jobs.push_back({dram::machine_by_number(4), "xiao", {}, 7});
+  return jobs;
+}
+
+TEST(MappingService, ResultsBitIdenticalAcrossThreadCounts) {
+  const std::vector<job_spec> jobs = reference_jobs();
+  const auto baseline = mapping_service({.threads = 1}).run(jobs);
+  for (unsigned threads : {2u, 8u}) {
+    const auto outcomes = mapping_service({.threads = threads}).run(jobs);
+    ASSERT_EQ(outcomes.size(), baseline.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      EXPECT_EQ(outcome_key(outcomes[i]), outcome_key(baseline[i]))
+          << "job " << i << " diverged at threads=" << threads;
+    }
+  }
+}
+
+TEST(MappingService, ResultsInvariantUnderShuffledSubmissionOrder) {
+  const std::vector<job_spec> jobs = reference_jobs();
+  const auto baseline = mapping_service({.threads = 4}).run(jobs);
+  // A deterministic permutation (reversal) keeps the test reproducible.
+  std::vector<job_spec> shuffled(jobs.rbegin(), jobs.rend());
+  const auto outcomes = mapping_service({.threads = 4}).run(shuffled);
+  ASSERT_EQ(outcomes.size(), baseline.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(outcome_key(outcomes[jobs.size() - 1 - i]),
+              outcome_key(baseline[i]))
+        << "job " << i << " depends on its batch position";
+  }
+}
+
+TEST(MappingService, MatchesDirectSequentialToolCalls) {
+  // The acceptance pin: service output must be bit-identical to calling
+  // each concrete tool directly, for all three tools.
+  const std::vector<job_spec> jobs = reference_jobs();
+  const auto outcomes = mapping_service({.threads = 8}).run(jobs);
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    core::environment env(jobs[i].machine, jobs[i].seed);
+    const core::dramdig_report direct = core::dramdig_tool(env).run();
+    const tool_result& r = outcomes[i].result;
+    ASSERT_EQ(outcomes[i].state, job_state::completed);
+    EXPECT_EQ(r.success, direct.success);
+    ASSERT_TRUE(direct.mapping && r.mapping);
+    EXPECT_EQ(r.mapping->describe(), direct.mapping->describe());
+    EXPECT_EQ(r.measurement_count, direct.total_measurements);
+    EXPECT_EQ(r.measurements_saved, direct.measurements_saved);
+    EXPECT_EQ(r.virtual_seconds, direct.total_seconds);
+    EXPECT_EQ(r.access_count, env.mach().controller().access_count());
+  }
+  {
+    core::environment env(jobs[3].machine, jobs[3].seed);
+    const baselines::drama_report direct =
+        baselines::drama_tool(env, fast_drama()).run();
+    const tool_result& r = outcomes[3].result;
+    EXPECT_EQ(r.success, direct.completed);
+    EXPECT_EQ(r.measurement_count, direct.total_measurements);
+    EXPECT_EQ(r.virtual_seconds, direct.total_seconds);
+    ASSERT_TRUE(direct.mapping && r.mapping);
+    EXPECT_EQ(r.mapping->describe(), direct.mapping->describe());
+  }
+  {
+    core::environment env(jobs[4].machine, jobs[4].seed);
+    const baselines::xiao_report direct = baselines::xiao_tool(env).run();
+    const tool_result& r = outcomes[4].result;
+    EXPECT_EQ(r.success, direct.success);
+    EXPECT_EQ(r.measurement_count, direct.total_measurements);
+    EXPECT_EQ(r.virtual_seconds, direct.total_seconds);
+    ASSERT_TRUE(direct.mapping && r.mapping);
+    EXPECT_EQ(r.mapping->describe(), direct.mapping->describe());
+  }
+}
+
+TEST(MappingService, UnknownToolFailsTheBatchUpFront) {
+  std::vector<job_spec> jobs{
+      {dram::machine_by_number(4), "seaborn", {}, 1}};
+  EXPECT_THROW((void)mapping_service().run(jobs), contract_violation);
+}
+
+TEST(MappingService, JobExceptionMarksOnlyThatJobFailed) {
+  // A malformed machine spec trips a contract inside the worker; the job
+  // fails, the batch survives, and the healthy job is untouched.
+  dram::machine_spec broken = dram::machine_by_number(4);
+  broken.memory_bytes = 0;
+  std::vector<job_spec> jobs{{broken, "dramdig", {}, 1},
+                             {dram::machine_by_number(4), "dramdig", {}, 42}};
+  const auto outcomes = mapping_service({.threads = 2}).run(jobs);
+  EXPECT_EQ(outcomes[0].state, job_state::failed);
+  EXPECT_FALSE(outcomes[0].result.failure_reason.empty());
+  EXPECT_EQ(outcomes[1].state, job_state::completed);
+  EXPECT_TRUE(outcomes[1].result.verified);
+}
+
+/// Records the event stream for one job and cancels after the first
+/// completion when armed.
+class recording_observer final : public progress_observer {
+ public:
+  explicit recording_observer(cancellation_token* cancel_after_first = nullptr)
+      : cancel_(cancel_after_first) {}
+
+  void on_job_start(std::size_t index, const job_spec&) override {
+    events.push_back("start:" + std::to_string(index));
+  }
+  void on_job_phase(std::size_t index, std::string_view phase,
+                    const core::phase_stats& delta) override {
+    events.push_back("phase:" + std::to_string(index) + ":" +
+                     std::string(phase));
+    measurements += delta.measurements;
+  }
+  void on_job_done(std::size_t index, const job_outcome& outcome) override {
+    events.push_back("done:" + std::to_string(index) + ":" +
+                     std::to_string(static_cast<int>(outcome.state)));
+    if (cancel_ != nullptr) cancel_->cancel();
+  }
+
+  std::vector<std::string> events;
+  std::uint64_t measurements = 0;
+
+ private:
+  cancellation_token* cancel_;
+};
+
+TEST(MappingService, ObserverSeesOrderedPhaseEvents) {
+  std::vector<job_spec> jobs{
+      {dram::machine_by_number(4), "dramdig", {}, 42}};
+  recording_observer observer;
+  const auto outcomes = mapping_service({.threads = 1}).run(jobs, &observer);
+  ASSERT_GE(observer.events.size(), 3u);
+  EXPECT_EQ(observer.events.front(), "start:0");
+  EXPECT_EQ(observer.events.back(), "done:0:2");  // 2 = completed
+  // The pipeline phases stream through (replacing the old ad-hoc timing
+  // log): at least calibration, coarse, selection, partition, fine.
+  for (const char* phase :
+       {"phase:0:calibration", "phase:0:coarse", "phase:0:selection",
+        "phase:0:partition", "phase:0:fine"}) {
+    EXPECT_NE(std::find(observer.events.begin(), observer.events.end(), phase),
+              observer.events.end())
+        << phase;
+  }
+  // Phase deltas add up to the run's metered total.
+  EXPECT_EQ(observer.measurements, outcomes[0].result.measurement_count);
+}
+
+TEST(MappingService, CancellationStopsPendingJobsOnly) {
+  // One worker, four jobs; the observer cancels as the first job lands.
+  std::vector<job_spec> jobs;
+  for (std::uint64_t seed : {42u, 43u, 44u, 45u}) {
+    jobs.push_back({dram::machine_by_number(4), "dramdig", {}, seed});
+  }
+  cancellation_token cancel;
+  recording_observer observer(&cancel);
+  const auto outcomes =
+      mapping_service({.threads = 1}).run(jobs, &observer, &cancel);
+
+  ASSERT_EQ(outcomes[0].state, job_state::completed);
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].state, job_state::cancelled) << "job " << i;
+    EXPECT_EQ(outcomes[i].result.measurement_count, 0u);
+    // Cancelled jobs still identify themselves (no on_job_start fires for
+    // them, so the done event's outcome is all an observer gets).
+    EXPECT_EQ(outcomes[i].result.tool, "dramdig");
+    EXPECT_EQ(outcomes[i].result.outcome, "cancelled");
+  }
+  // The completed result is uncorrupted: identical to an uncancelled run.
+  const auto reference =
+      mapping_service({.threads = 1}).run({jobs.front()});
+  EXPECT_EQ(outcome_key(outcomes[0]), outcome_key(reference[0]));
+}
+
+}  // namespace
+}  // namespace dramdig::api

@@ -16,6 +16,20 @@ TEST(PublicApi, UmbrellaHeaderCoversTheQuickstartPath) {
   EXPECT_TRUE(report.mapping->equivalent_to(env.spec().mapping));
 }
 
+TEST(PublicApi, UmbrellaHeaderCoversTheUnifiedApiPath) {
+  // The documented one-tool and many-run paths, exactly as the umbrella
+  // header's comment advertises them.
+  core::environment env(dram::machine_by_number(4), 2026);
+  const api::tool_result result = api::make_tool("dramdig")->run(env);
+  EXPECT_TRUE(result.verified);
+
+  const auto outcomes = api::mapping_service().run(
+      {{dram::machine_by_number(4), "dramdig", {}, 2026}});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].state, api::job_state::completed);
+  EXPECT_EQ(outcomes[0].result.to_json_string(), result.to_json_string());
+}
+
 TEST(PublicApi, ToolConfigContractsAreEnforced) {
   core::environment env(dram::machine_by_number(4), 1);
   core::dramdig_config bad{};
