@@ -49,6 +49,10 @@ struct tool_cost {
   /// original remeasures everything), so its count stays 0 by design.
   std::uint64_t saved = 0;
   std::uint64_t accesses = 0;
+  /// DRAMDig only: the coarse + fine phase measurements — the cost the
+  /// designed bit-probe engine attacks, tracked so its trajectory is
+  /// visible in the committed record.
+  std::uint64_t coarse_fine = 0;
   bool ok = false;
 };
 
@@ -66,6 +70,9 @@ tool_cost cost_from(const api::job_outcome& outcome) {
   c.measurements = r.measurement_count;
   c.saved = r.measurements_saved;
   c.accesses = r.access_count;
+  for (const api::tool_phase& p : r.phases) {
+    if (p.name == "coarse" || p.name == "fine") c.coarse_fine += p.measurements;
+  }
   // DRAMDig claims a full mapping, so "ok" is truth-verified; DRAMA's
   // published success notion is completion (two agreeing trials).
   c.ok = r.tool == "dramdig" ? r.verified : r.success;
@@ -89,6 +96,9 @@ void emit_json(const std::string& path, const std::vector<row>& rows) {
       w.key("wall_seconds").value(cost.wall_s);
       w.key("measurement_count").value(cost.measurements);
       w.key("measurements_saved").value(cost.saved);
+      if (std::strcmp(name, "dramdig") == 0) {
+        w.key("coarse_fine_measurements").value(cost.coarse_fine);
+      }
       w.key("access_count").value(cost.accesses);
       w.end_object();
     }

@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
   double min_nullspace = 5.0;
   double min_accounting = 3.0;
   double min_rep_reduction = 0.25;
+  double min_probe_reduction = 0.30;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--min-nullspace=", 16) == 0) {
       min_nullspace = std::strtod(argv[i] + 16, nullptr);
@@ -89,6 +90,8 @@ int main(int argc, char** argv) {
       min_accounting = std::strtod(argv[i] + 17, nullptr);
     } else if (std::strncmp(argv[i], "--min-rep-reduction=", 20) == 0) {
       min_rep_reduction = std::strtod(argv[i] + 20, nullptr);
+    } else if (std::strncmp(argv[i], "--min-probe-reduction=", 22) == 0) {
+      min_probe_reduction = std::strtod(argv[i] + 22, nullptr);
     } else {
       path = argv[i];
     }
@@ -96,7 +99,8 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: bench_guard BENCH_micro.json [--min-nullspace=N] "
-                 "[--min-accounting=N] [--min-rep-reduction=F]\n");
+                 "[--min-accounting=N] [--min-rep-reduction=F] "
+                 "[--min-probe-reduction=F]\n");
     return 2;
   }
   std::ifstream in(path);
@@ -157,6 +161,29 @@ int main(int argc, char** argv) {
       std::printf("guard: representative partition saves %.0f%% "
                   "(floor %.0f%%) ok\n",
                   reduction * 100.0, min_rep_reduction * 100.0);
+    }
+  }
+
+  // The designed bit-probe engine must keep beating the legacy fixed-vote
+  // loops by at least the floor at every benchmarked machine size — a
+  // silent fallback to per-bit voting fails the build even while both
+  // paths classify correctly.
+  check_true(doc, "bit_probe", "ok", failures);
+  const std::string probe_text = value_after(doc, "bit_probe", "min_reduction");
+  if (probe_text.empty()) {
+    std::fprintf(stderr, "guard: bit_probe.min_reduction missing\n");
+    ++failures;
+  } else {
+    const double reduction = std::strtod(probe_text.c_str(), nullptr);
+    if (reduction < min_probe_reduction) {
+      std::fprintf(stderr,
+                   "guard: designed probes save only %.0f%% vs the legacy "
+                   "vote loops (floor %.0f%%)\n",
+                   reduction * 100.0, min_probe_reduction * 100.0);
+      ++failures;
+    } else {
+      std::printf("guard: designed probes save %.0f%% (floor %.0f%%) ok\n",
+                  reduction * 100.0, min_probe_reduction * 100.0);
     }
   }
 

@@ -19,11 +19,15 @@
 #include <string>
 
 #include "core/address_selection.h"
+#include "core/bit_probe.h"
+#include "core/coarse_detect.h"
 #include "core/dramdig.h"
 #include "core/environment.h"
+#include "core/fine_detect.h"
 #include "core/function_detect.h"
 #include "core/probe_util.h"
 #include "dram/presets.h"
+#include "sysinfo/system_info.h"
 #include "sim/machine.h"
 #include "sim/profiles.h"
 #include "util/bitops.h"
@@ -382,6 +386,80 @@ void emit_bench_json(const std::string& path, bool smoke) {
     min_reduction = std::min(min_reduction, rep_reduction(row));
   }
 
+  // Designed-experiment bit-probe engine vs the legacy per-bit vote loops:
+  // coarse + fine on three machine sizes, same machine/seed/knowledge and
+  // the machine's true bank functions (isolating the probed phases from
+  // partition). The measurement count is the paper's cost metric;
+  // `min_reduction` is CI-gated (bench_guard --min-probe-reduction), so a
+  // regression that silently falls back to fixed-count voting fails the
+  // build.
+  struct probe_row {
+    unsigned banks = 0;
+    std::string machine;
+    std::uint64_t legacy_measurements = 0;
+    std::uint64_t designed_measurements = 0;
+    bool ok = false;
+  };
+  std::vector<probe_row> probe_rows;
+  for (const unsigned banks : {8u, 16u, 32u}) {
+    const dram::machine_spec* spec = nullptr;
+    for (const dram::machine_spec& m : dram::paper_machines()) {
+      if (m.mapping.bank_count() == banks) {
+        spec = &m;
+        break;
+      }
+    }
+    if (spec == nullptr) continue;
+    probe_row row;
+    row.banks = banks;
+    row.machine = spec->label();
+    row.ok = true;
+    for (const bool designed : {false, true}) {
+      core::environment env(*spec, 1200 + spec->number);
+      auto& mc = env.mach().controller();
+      const auto& buffer =
+          env.space().map_buffer(spec->memory_bytes * 11 / 20);
+      rng r(53 ^ spec->number);
+      timing::channel channel(mc,
+                              {.rounds_per_measurement = 1000,
+                               .samples_per_latency = 3,
+                               .calibration_pairs = 1200},
+                              rng(7 ^ spec->number));
+      channel.calibrate(core::sample_addresses(buffer, 1024, r));
+      const core::domain_knowledge knowledge =
+          core::domain_knowledge::from_system_info(sysinfo::probe(*spec));
+      core::measurement_plan plan(channel);
+      core::bit_probe_engine engine(plan, buffer);
+      core::coarse_config coarse_cfg{};
+      coarse_cfg.probe.use_designed = designed;
+      core::fine_config fine_cfg{};
+      fine_cfg.probe.use_designed = designed;
+      const std::uint64_t before = mc.measurement_count();
+      const auto coarse =
+          core::run_coarse_detection(engine, knowledge, r, coarse_cfg);
+      const auto fine = core::run_fine_detection(
+          engine, knowledge, coarse, spec->mapping.bank_functions(), r,
+          fine_cfg);
+      const std::uint64_t cost = mc.measurement_count() - before;
+      row.ok = row.ok && fine.counts_satisfied &&
+               fine.row_bits == spec->mapping.row_bits() &&
+               fine.column_bits == spec->mapping.column_bits();
+      (designed ? row.designed_measurements : row.legacy_measurements) = cost;
+    }
+    probe_rows.push_back(std::move(row));
+  }
+  const auto probe_reduction = [](const probe_row& row) {
+    return 1.0 - static_cast<double>(row.designed_measurements) /
+                     static_cast<double>(
+                         std::max<std::uint64_t>(row.legacy_measurements, 1));
+  };
+  double probe_min_reduction = 1.0;
+  bool probe_ok = !probe_rows.empty();
+  for (const probe_row& row : probe_rows) {
+    probe_ok = probe_ok && row.ok;
+    probe_min_reduction = std::min(probe_min_reduction, probe_reduction(row));
+  }
+
   // Measurement-reuse scheduler: the same full pipeline run with the
   // verdict cache on vs off — the measurement *count* is the paper's cost
   // metric, the wall times bound the host cost.
@@ -443,6 +521,17 @@ void emit_bench_json(const std::string& path, bool smoke) {
   w.key("ok").value(rep_ok);
   w.key("min_reduction").value(min_reduction);
   w.end_object();
+  w.key("bit_probe").begin_object();
+  for (const probe_row& row : probe_rows) {
+    const std::string suffix = std::to_string(row.banks);
+    w.key("machine_" + suffix).value(row.machine);
+    w.key("legacy_" + suffix).value(row.legacy_measurements);
+    w.key("designed_" + suffix).value(row.designed_measurements);
+    w.key("ok_" + suffix).value(row.ok);
+  }
+  w.key("ok").value(probe_ok);
+  w.key("min_reduction").value(probe_min_reduction);
+  w.end_object();
   w.key("partition_measurement_reuse").begin_object();
   w.key("machine").value(reuse_spec.label());
   w.key("ok_cache_off").value(report_off.success);
@@ -481,6 +570,14 @@ void emit_bench_json(const std::string& path, bool smoke) {
                 static_cast<unsigned long long>(row.pivot_measurements),
                 static_cast<unsigned long long>(row.rep_measurements),
                 100.0 * rep_reduction(row), row.ok ? "" : " [FAILED]");
+  }
+  for (const probe_row& row : probe_rows) {
+    std::printf("coarse+fine at %u banks (%s): legacy votes %llu, designed "
+                "probes %llu measurements (-%.0f%%)%s\n",
+                row.banks, row.machine.c_str(),
+                static_cast<unsigned long long>(row.legacy_measurements),
+                static_cast<unsigned long long>(row.designed_measurements),
+                100.0 * probe_reduction(row), row.ok ? "" : " [FAILED]");
   }
   std::printf("measurement reuse on %s: %llu measurements without cache, "
               "%llu with (%llu saved)\n",

@@ -61,6 +61,12 @@ std::vector<job_outcome> mapping_service::run(
           try {
             core::environment env(job.machine, job.seed);
             const auto tool = make_tool(job.tool, job.options);
+            if (cancel != nullptr) {
+              // Tools with internal abort points (DRAMA's trial loop) stop
+              // at the next boundary once the token flips; their outcome
+              // reports "aborted" and the job still completes normally.
+              tool->bind_abort([cancel] { return cancel->cancelled(); });
+            }
             mapping_tool::phase_hook hook;
             if (observer != nullptr) {
               hook = [&notify, &observer, i](std::string_view phase,

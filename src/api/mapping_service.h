@@ -66,8 +66,12 @@ class progress_observer {
 };
 
 /// Cooperative cancellation: flip once, observed by workers before each
-/// job claim. Already-running jobs finish (tools have no abort points —
-/// same contract as the real tools' kill-at-2-hours workflow).
+/// job claim, and bound into every tool's abort predicate. Pending jobs
+/// never start; a running job with internal abort points (DRAMA polls
+/// between trials) stops at its next boundary and completes with outcome
+/// "aborted", letting a driver kill a hopeless unit before its 2-hour
+/// budget expires; tools without abort points (DRAMDig/Xiao, minutes-
+/// scale) run to completion.
 class cancellation_token {
  public:
   void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }

@@ -77,6 +77,7 @@ class dramdig_adapter final : public mapping_tool {
          0},
         {"fine", report.fine.seconds, report.fine.measurements, 0},
     };
+    out.probe_rounds = report.probe;
     out.virtual_seconds = report.total_seconds;
     out.measurement_count = report.total_measurements;
     out.measurements_saved = report.measurements_saved;
@@ -97,11 +98,29 @@ class drama_adapter final : public mapping_tool {
             "blind clustering + XOR brute force with trial agreement"};
   }
 
+  void bind_abort(std::function<bool()> should_abort) override {
+    abort_ = std::move(should_abort);
+  }
+
   [[nodiscard]] tool_result run(core::environment& env,
                                 const phase_hook& hook) override {
+    baselines::drama_config cfg = options_.drama();
+    // Per-trial events stream to both the config's own consumer and the
+    // service observer; the terminal "trials" record stays in the phases
+    // list, so observers summing event deltas still see the exact totals.
+    cfg.on_phase = chain(cfg.on_phase, hook);
+    if (abort_) {
+      if (auto existing = std::move(cfg.should_abort); existing) {
+        cfg.should_abort = [existing = std::move(existing), this] {
+          return existing() || abort_();
+        };
+      } else {
+        cfg.should_abort = abort_;
+      }
+    }
     access_meter accesses(env);
     const baselines::drama_report report =
-        baselines::drama_tool(env, options_.drama()).run();
+        baselines::drama_tool(env, cfg).run();
 
     tool_result out;
     out.tool = "drama";
@@ -114,20 +133,18 @@ class drama_adapter final : public mapping_tool {
         report.completed &&
         gf2::same_span(report.functions, env.spec().mapping.bank_functions());
     out.outcome = report.completed   ? "completed"
+                  : report.aborted   ? "aborted"
                   : report.timed_out ? "timeout"
                                      : "no agreement";
     out.detail = std::to_string(report.trials_run) + " trials";
     if (!report.completed) {
-      out.failure_reason = report.timed_out
-                               ? "budget expired without two agreeing trials"
-                               : "no two consecutive trials agreed";
+      out.failure_reason =
+          report.aborted   ? "cancelled before two agreeing trials"
+          : report.timed_out ? "budget expired without two agreeing trials"
+                             : "no two consecutive trials agreed";
     }
     out.phases = {{"trials", report.total_seconds, report.total_measurements,
                    0}};
-    if (hook) {
-      hook("trials", core::phase_stats{report.total_seconds,
-                                       report.total_measurements, 0});
-    }
     out.virtual_seconds = report.total_seconds;
     out.measurement_count = report.total_measurements;
     out.measurements_saved = report.measurements_saved;
@@ -137,6 +154,7 @@ class drama_adapter final : public mapping_tool {
 
  private:
   tool_options options_;
+  std::function<bool()> abort_;
 };
 
 class xiao_adapter final : public mapping_tool {
@@ -219,6 +237,14 @@ void tool_result::to_json(json_writer& w) const {
     w.end_object();
   }
   w.end_array();
+  w.key("probe_rounds").begin_object();
+  w.key("experiments").value(probe_rounds.experiments);
+  w.key("rounds").value(probe_rounds.rounds);
+  w.key("votes_cast").value(probe_rounds.votes_cast);
+  w.key("votes_saved").value(probe_rounds.votes_saved);
+  w.key("shared_base_votes").value(probe_rounds.shared_base_votes);
+  w.key("reused_votes").value(probe_rounds.reused_votes);
+  w.end_object();
   w.end_object();
 }
 

@@ -70,6 +70,10 @@ struct tool_result {
   std::string detail;          ///< tool-specific note ("pool 4096, 8 piles")
   std::string failure_reason;  ///< empty on success
   std::vector<tool_phase> phases;
+  /// Designed-experiment probe-round activity (rounds batched, votes cast
+  /// and early-terminated, votes answered from the reuse cache). All zero
+  /// for tools that do not run the bit-probe engine.
+  core::probe_stats probe_rounds{};
   double virtual_seconds = 0.0;
   std::uint64_t measurement_count = 0;
   std::uint64_t measurements_saved = 0;
@@ -127,6 +131,14 @@ class mapping_tool {
   using phase_hook = core::phase_callback;
 
   virtual ~mapping_tool() = default;
+
+  /// Install a cooperative abort predicate before run(). Tools with
+  /// internal abort points poll it and stop early (DRAMA checks between
+  /// trials and reports outcome "aborted"); the default implementation
+  /// ignores it — DRAMDig/Xiao runs are minutes-scale and complete. The
+  /// mapping_service binds its cancellation token here so flipping the
+  /// token also stops running jobs at their next abort point.
+  virtual void bind_abort(std::function<bool()> /*should_abort*/) {}
 
   [[nodiscard]] virtual tool_description describe() const = 0;
   [[nodiscard]] virtual tool_result run(core::environment& env,

@@ -233,12 +233,23 @@ drama_report drama_tool::run() {
 
   std::optional<std::vector<std::uint64_t>> prev_valid_functions;
   for (unsigned t = 0; t < config_.max_trials; ++t) {
+    if (config_.should_abort && config_.should_abort()) {
+      report.aborted = true;
+      break;
+    }
     if (mc.clock().seconds_since(t0) > config_.timeout_seconds) {
       report.timed_out = true;
       break;
     }
+    const std::uint64_t trial_t0 = mc.clock().now_ns();
+    const std::uint64_t trial_m0 = mc.measurement_count();
     report.trials.push_back(run_trial(buffer, r));
     ++report.trials_run;
+    if (config_.on_phase) {
+      config_.on_phase("trial",
+                       core::phase_stats{mc.clock().seconds_since(trial_t0),
+                                         mc.measurement_count() - trial_m0, 0});
+    }
     const drama_trial& cur = report.trials.back();
     log_info("drama: trial " + std::to_string(t) + " sets=" +
              std::to_string(cur.set_count) + " funcs=" +

@@ -22,10 +22,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "core/environment.h"
+#include "core/phase.h"
 #include "dram/mapping.h"
 
 namespace dramdig::baselines {
@@ -56,6 +58,18 @@ struct drama_config {
   /// tool and the differential oracle.
   bool use_nullspace = false;
   std::uint64_t tool_seed = 1;
+  /// Per-trial progress events: one "trial" event per completed trial with
+  /// that trial's clock/measurement delta (the trials are where every
+  /// measurement happens, so the deltas sum to the run's totals). The
+  /// drama adapter chains the mapping_service observer hook in here, so a
+  /// driver can watch a hopeless unit live instead of reading one terminal
+  /// event after the 2-hour budget expires.
+  core::phase_callback on_phase{};
+  /// Cooperative abort: polled before each trial; when it returns true the
+  /// run stops at that trial boundary with report.aborted set. The
+  /// mapping_service binds its cancellation token here, which is what lets
+  /// a driver kill a no-agreement unit early.
+  std::function<bool()> should_abort{};
 };
 
 struct drama_trial {
@@ -68,6 +82,7 @@ struct drama_trial {
 struct drama_report {
   bool completed = false;  ///< two consecutive agreeing valid trials
   bool timed_out = false;
+  bool aborted = false;    ///< stopped by drama_config::should_abort
   std::optional<dram::address_mapping> mapping;  ///< best-effort hypothesis
   std::vector<std::uint64_t> functions;
   unsigned trials_run = 0;

@@ -1,0 +1,130 @@
+// The designed-experiment bit-probe engine behind the coarse and fine
+// bit-classification phases (paper Sections III-C / III-E).
+//
+// Both phases ask one question many times over: "does delta d flip a row
+// and nothing that changes the bank?" — answered by a majority vote of
+// SBDR measurements on pairs (p, p ^ d). The legacy implementation served
+// each bit its own fixed-count vote loop over independently random pairs:
+// the row pass alone was ~30 sequential controller batches, every vote
+// paid the full strict price, and no two picks ever coincided, so the
+// measurement-reuse scheduler's memo never fired.
+//
+// The engine turns a whole phase into designed rounds:
+//   * All candidate deltas' experiments are planned up front; per round,
+//     every still-undecided experiment contributes one pair and the round
+//     is serviced as ONE cross-bit controller batch.
+//   * Pairs are designed around a shared base address: one base p serves
+//     (p, p ^ d) for every delta whose partner page it backs, so the
+//     round's evidence concentrates on few addresses — exact-pair memo
+//     verdicts and witness/cross proofs accreted in the plan can actually
+//     answer later probes (and partition scans) instead of being defeated
+//     by independent random picks.
+//   * Votes route through measurement_plan::probe_pairs: a single fast
+//     sample already proves the strict verdict negative (noise is
+//     one-sided), so only slow readings graduate to strict verification
+//     with the vote sample folded into the min filter.
+//   * Votes terminate early: an experiment stops the moment its remaining
+//     rounds cannot flip the majority, instead of always burning
+//     probe_config::votes strict measurements.
+//
+// The legacy per-bit loops survive bit-for-bit behind
+// probe_config::use_designed = false as the differential oracle (the
+// use_nullspace / use_representatives / closed_form_accounting house
+// pattern); tests/core/test_bit_probe.cpp pins both modes to identical
+// classifications on every paper preset and on randomized noisy seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/measurement_plan.h"
+#include "os/address_space.h"
+#include "util/rng.h"
+
+namespace dramdig::core {
+
+struct probe_config {
+  /// Master switch: false replays the legacy per-bit fixed-vote loops
+  /// bit-for-bit (sequential experiments, `votes` independent random
+  /// pairs each, one strict batch per bit) as the differential oracle.
+  bool use_designed = true;
+  /// Maximum pairs voted per experiment; the majority decides. Designed
+  /// mode stops a stream early once the remainder cannot flip it.
+  unsigned votes = 7;
+  /// Random bases tried per pair when the shared base cannot serve a
+  /// delta (its partner page is not backed by the buffer).
+  unsigned pair_attempts = 256;
+  /// Shared-base candidates scored per designed round; the base backing
+  /// the most active deltas wins.
+  unsigned base_attempts = 6;
+};
+
+/// Cumulative engine activity (across every run() of one engine).
+struct probe_stats {
+  std::uint64_t experiments = 0;       ///< deltas submitted
+  std::uint64_t rounds = 0;            ///< designed controller rounds
+  std::uint64_t votes_cast = 0;        ///< pair verdicts consumed by majorities
+  std::uint64_t votes_saved = 0;       ///< votes skipped by early termination
+  std::uint64_t shared_base_votes = 0; ///< pairs served off a round's shared base
+  std::uint64_t reused_votes = 0;      ///< votes answered from the plan's cache
+};
+
+/// One designed round, as streamed to the round hook (legacy mode emits
+/// nothing — the oracle replays the silent pre-engine loops).
+struct probe_round_event {
+  std::string_view stage;        ///< caller label ("coarse.row", "fine", ...)
+  unsigned round = 0;            ///< round index within this run
+  std::size_t active = 0;        ///< experiments still undecided entering it
+  std::uint64_t votes = 0;       ///< votes cast this round
+  std::uint64_t measurements = 0;///< controller measurements this round
+};
+
+class bit_probe_engine {
+ public:
+  using round_callback = std::function<void(const probe_round_event&)>;
+
+  /// The engine measures exclusively through the plan (so verdicts accrete
+  /// in the run-wide cache) and picks pairs from the buffer's pagemap.
+  bit_probe_engine(measurement_plan& plan, const os::mapping_region& buffer);
+
+  /// Majority-vote SBDR verdicts for a batch of delta experiments (deltas
+  /// must be distinct — distinct deltas guarantee distinct pairs within a
+  /// round). nullopt = untestable: no measurable pair was ever found.
+  [[nodiscard]] std::vector<std::optional<bool>> run(
+      std::span<const std::uint64_t> deltas, const probe_config& config,
+      rng& r, std::string_view stage = "probe");
+
+  /// Single-experiment convenience (fine's per-candidate confirmation).
+  [[nodiscard]] std::optional<bool> run_one(std::uint64_t delta,
+                                            const probe_config& config, rng& r,
+                                            std::string_view stage = "probe");
+
+  /// Per-round progress hook (designed mode only); dramdig_tool forwards
+  /// these into its phase-event stream.
+  void set_round_hook(round_callback hook) { on_round_ = std::move(hook); }
+
+  [[nodiscard]] const probe_stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] measurement_plan& plan() noexcept { return plan_; }
+  [[nodiscard]] const os::mapping_region& buffer() const noexcept {
+    return buffer_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<std::optional<bool>> run_legacy(
+      std::span<const std::uint64_t> deltas, const probe_config& config,
+      rng& r);
+  [[nodiscard]] std::vector<std::optional<bool>> run_designed(
+      std::span<const std::uint64_t> deltas, const probe_config& config,
+      rng& r, std::string_view stage);
+
+  measurement_plan& plan_;
+  const os::mapping_region& buffer_;
+  probe_stats stats_;
+  round_callback on_round_;
+};
+
+}  // namespace dramdig::core

@@ -2,61 +2,36 @@
 
 #include <algorithm>
 
-#include "core/probe_util.h"
 #include "util/expect.h"
 #include "util/log.h"
 
 namespace dramdig::core {
 
-namespace {
-
-/// Majority vote over several independently chosen pairs with the same bit
-/// delta, using the min-filtered predicate: a background-load burst can
-/// span this whole phase, and a burst-length stretch of one-sided
-/// contamination would otherwise flip half the single-bit verdicts.
-/// Returns nullopt when no measurable pair exists. Pair picking only
-/// consults the pagemap, so all pairs are collected up front and the
-/// strict measurements serviced as one batch through the scheduler —
-/// matching fine_detect's vote loop.
-std::optional<bool> vote_sbdr(measurement_plan& plan,
-                              const os::mapping_region& buffer,
-                              std::uint64_t delta, unsigned votes,
-                              unsigned attempts, rng& r) {
-  std::vector<sim::addr_pair> pairs;
-  pairs.reserve(votes);
-  for (unsigned v = 0; v < votes; ++v) {
-    const auto pair = pick_pair_with_delta(buffer, delta, r, attempts);
-    if (pair) pairs.push_back(*pair);
-  }
-  if (pairs.empty()) return std::nullopt;
-  const std::vector<char> verdicts = plan.is_sbdr_strict_batch(pairs);
-  unsigned high = 0;
-  for (char v : verdicts) high += v != 0;
-  return high * 2 > pairs.size();
-}
-
-}  // namespace
-
-coarse_result run_coarse_detection(measurement_plan& plan,
-                                   const os::mapping_region& buffer,
+coarse_result run_coarse_detection(bit_probe_engine& probe,
                                    const domain_knowledge& knowledge, rng& r,
                                    const coarse_config& config) {
-  DRAMDIG_EXPECTS(plan.channel().calibrated());
+  DRAMDIG_EXPECTS(probe.plan().channel().calibrated());
   coarse_result result;
 
-  // --- Row pass: single-bit deltas. -------------------------------------
-  std::vector<unsigned> non_row;
+  // --- Row pass: single-bit deltas, one engine run. ----------------------
+  // Every candidate bit's experiment is planned up front; the engine votes
+  // them in cross-bit rounds (one controller batch per round) instead of
+  // the legacy one-batch-per-bit sequence.
+  std::vector<unsigned> probed;
+  std::vector<std::uint64_t> deltas;
   for (unsigned b = knowledge.min_probe_bit; b < knowledge.address_bits; ++b) {
-    const auto verdict = vote_sbdr(plan, buffer, std::uint64_t{1} << b,
-                                   config.votes, config.pair_attempts, r);
-    if (!verdict) {
-      result.untestable_bits.push_back(b);
-      continue;
-    }
-    if (*verdict) {
-      result.row_bits.push_back(b);
+    probed.push_back(b);
+    deltas.push_back(std::uint64_t{1} << b);
+  }
+  const auto row_verdicts = probe.run(deltas, config.probe, r, "coarse.row");
+  std::vector<unsigned> non_row;
+  for (std::size_t i = 0; i < probed.size(); ++i) {
+    if (!row_verdicts[i]) {
+      result.untestable_bits.push_back(probed[i]);
+    } else if (*row_verdicts[i]) {
+      result.row_bits.push_back(probed[i]);
     } else {
-      non_row.push_back(b);
+      non_row.push_back(probed[i]);
     }
   }
   if (result.row_bits.empty()) {
@@ -71,15 +46,16 @@ coarse_result run_coarse_detection(measurement_plan& plan,
   // Use a row bit that is low enough to pair easily; any row-only bit
   // keeps the bank fixed by definition.
   const unsigned row_ref = result.row_bits.front();
+  deltas.clear();
   for (unsigned b : non_row) {
-    const std::uint64_t delta =
-        (std::uint64_t{1} << row_ref) | (std::uint64_t{1} << b);
-    const auto verdict = vote_sbdr(plan, buffer, delta, config.votes,
-                                   config.pair_attempts, r);
-    if (verdict && *verdict) {
-      result.column_bits.push_back(b);
+    deltas.push_back((std::uint64_t{1} << row_ref) | (std::uint64_t{1} << b));
+  }
+  const auto col_verdicts = probe.run(deltas, config.probe, r, "coarse.col");
+  for (std::size_t i = 0; i < non_row.size(); ++i) {
+    if (col_verdicts[i] && *col_verdicts[i]) {
+      result.column_bits.push_back(non_row[i]);
     } else {
-      result.bank_bits.push_back(b);
+      result.bank_bits.push_back(non_row[i]);
     }
   }
 
@@ -94,6 +70,14 @@ coarse_result run_coarse_detection(measurement_plan& plan,
            " cols=" + std::to_string(result.column_bits.size()) +
            " covered=" + std::to_string(result.bank_bits.size()));
   return result;
+}
+
+coarse_result run_coarse_detection(measurement_plan& plan,
+                                   const os::mapping_region& buffer,
+                                   const domain_knowledge& knowledge, rng& r,
+                                   const coarse_config& config) {
+  bit_probe_engine probe(plan, buffer);
+  return run_coarse_detection(probe, knowledge, r, config);
 }
 
 coarse_result run_coarse_detection(timing::channel& channel,

@@ -7,11 +7,18 @@
 // supplied the conflict), so the candidate addresses columns. Everything
 // left over is a (possible) bank bit — including the row/column bits that
 // also feed bank functions, which stay "covered" until Step 3.
+//
+// Both passes are served by the designed-experiment bit-probe engine: the
+// whole pass is planned up front and voted in cross-bit rounds (one
+// controller batch per round, pairs designed around shared bases, early
+// vote termination), with the legacy per-bit loops behind
+// probe_config::use_designed = false as the differential oracle.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/bit_probe.h"
 #include "core/domain_knowledge.h"
 #include "core/measurement_plan.h"
 #include "os/address_space.h"
@@ -21,8 +28,8 @@
 namespace dramdig::core {
 
 struct coarse_config {
-  unsigned votes = 7;             ///< pairs measured per bit, majority wins
-  unsigned pair_attempts = 256;   ///< random bases tried to find a pair
+  /// Vote/design parameters of the probe engine (7 votes, majority wins).
+  probe_config probe{};
 };
 
 struct coarse_result {
@@ -32,9 +39,14 @@ struct coarse_result {
   std::vector<unsigned> untestable_bits;  ///< no measurable pair existed
 };
 
-/// Run Step 1 against the buffer. Requires a calibrated channel. Votes go
-/// through the measurement-reuse scheduler, so a pair re-picked across
-/// votes (or later pipeline stages) never pays twice.
+/// Run Step 1 through a caller-owned probe engine (shared with fine
+/// detection, so both phases accrete one evidence substrate). Requires a
+/// calibrated channel.
+[[nodiscard]] coarse_result run_coarse_detection(
+    bit_probe_engine& probe, const domain_knowledge& knowledge, rng& r,
+    const coarse_config& config = {});
+
+/// Convenience overload with a call-local engine over `plan`.
 [[nodiscard]] coarse_result run_coarse_detection(
     measurement_plan& plan, const os::mapping_region& buffer,
     const domain_knowledge& knowledge, rng& r, const coarse_config& config = {});

@@ -83,10 +83,30 @@ dramdig_report dramdig_tool::run() {
   // live; without a hook the events fall back to info-level narration.
   const phase_callback notify =
       config_.on_phase ? config_.on_phase : phase_callback(log_phase_event);
+  // The designed-experiment engine behind the coarse and fine phases: one
+  // engine per run so both phases vote on one evidence substrate. Its
+  // per-round progress streams through the phase-event observer when one
+  // is installed (the mapping_service's hook); without an observer the
+  // rounds stay silent — their cost is metered by the owning phase event.
+  std::optional<bit_probe_engine> probe;
+  const auto wire_probe = [&](const os::mapping_region& region) {
+    probe.emplace(plan, region);
+    if (config_.on_phase) {
+      probe->set_round_hook([&](const probe_round_event& e) {
+        char name[64];
+        std::snprintf(name, sizeof name, "probe:%.*s",
+                      static_cast<int>(e.stage.size()), e.stage.data());
+        phase_stats delta;
+        delta.pairs_used = e.votes;
+        config_.on_phase(name, delta);
+      });
+    }
+  };
   const auto finish = [&]() {
     report.total_seconds = mc.clock().seconds_since(t_begin);
     report.total_measurements = mc.measurement_count() - m_begin;
     report.measurements_saved = plan.stats().measurements_saved;
+    if (probe) report.probe = probe->stats();
   };
 
   // --- Domain knowledge ---------------------------------------------------
@@ -109,11 +129,11 @@ dramdig_report dramdig_tool::run() {
   log_info("dramdig: threshold " + std::to_string(report.threshold_ns) + "ns");
 
   // --- Step 1: coarse detection --------------------------------------------
+  wire_probe(buffer);
   coarse_result coarse;
   {
     phase_meter meter(mc, report.coarse, "coarse", notify);
-    coarse = run_coarse_detection(plan, buffer, knowledge, r,
-                                  config_.coarse);
+    coarse = run_coarse_detection(*probe, knowledge, r, config_.coarse);
   }
   report.coarse_detail = coarse;
   if (coarse.row_bits.empty() || coarse.bank_bits.empty()) {
@@ -223,8 +243,8 @@ dramdig_report dramdig_tool::run() {
   fine_outcome fine;
   if (config_.use_spec_counts) {
     phase_meter meter(mc, report.fine, "fine", notify);
-    fine = run_fine_detection(plan, buffer, knowledge, coarse,
-                              functions.functions, r, config_.fine);
+    fine = run_fine_detection(*probe, knowledge, coarse, functions.functions,
+                              r, config_.fine);
   } else {
     // Spec-count ablation: no way to know how many shared bits remain; the
     // coarse classification is all the tool can report.

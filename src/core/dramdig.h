@@ -18,25 +18,18 @@
 #include <string_view>
 
 #include "core/address_selection.h"
+#include "core/bit_probe.h"
 #include "core/coarse_detect.h"
 #include "core/environment.h"
 #include "core/fine_detect.h"
 #include "core/function_detect.h"
 #include "core/measurement_plan.h"
 #include "core/partition.h"
+#include "core/phase.h"
 #include "dram/mapping.h"
 #include "timing/channel.h"
 
 namespace dramdig::core {
-
-struct phase_stats;
-
-/// Progress hook: invoked after a pipeline phase completes with that
-/// occurrence's clock/measurement delta. A phase can fire more than once in
-/// one run (selection re-runs on widened pools, partition once per
-/// bank-count attempt), so consumers aggregate by name if they want totals.
-using phase_callback =
-    std::function<void(std::string_view phase, const phase_stats& delta)>;
 
 struct dramdig_config {
   /// Fraction of installed memory the tool maps (the real tool allocates
@@ -62,17 +55,11 @@ struct dramdig_config {
   std::uint64_t tool_seed = 1;
   /// Per-phase progress events. When unset, the tool narrates each phase at
   /// info log level (the timing log examples show); the mapping_service
-  /// installs its own hook here to stream job progress to observers.
+  /// installs its own hook here to stream job progress to observers. With a
+  /// hook installed the probe engine's designed rounds stream too, one
+  /// event per cross-bit round ("probe:coarse.row" etc., vote count in
+  /// pairs_used, cost metered by the owning phase event).
   phase_callback on_phase{};
-};
-
-struct phase_stats {
-  double seconds = 0.0;
-  std::uint64_t measurements = 0;
-  /// Pair samples the phase drew — filled for the calibration phase, where
-  /// the adaptive calibrator makes the count run-dependent (the other
-  /// phases already meter everything through `measurements`).
-  std::uint64_t pairs_used = 0;
 };
 
 struct dramdig_report {
@@ -102,6 +89,10 @@ struct dramdig_report {
   coarse_result coarse_detail;
   fine_outcome fine_detail;
   std::vector<std::uint64_t> bank_functions;
+  /// Designed-experiment engine activity across the coarse and fine
+  /// phases: rounds batched, votes cast, votes early-terminated, votes
+  /// answered from the reuse cache.
+  probe_stats probe;
 };
 
 class dramdig_tool {

@@ -5,7 +5,6 @@
 #include <optional>
 #include <set>
 
-#include "core/probe_util.h"
 #include "util/bitops.h"
 #include "util/expect.h"
 #include "util/gf2.h"
@@ -27,34 +26,9 @@ std::optional<std::uint64_t> bank_invariant_delta(
   return gf2::solve(system, rhs, support | (std::uint64_t{1} << s));
 }
 
-/// Majority-vote SBDR over fresh pairs with the given delta, using the
-/// min-filtered predicate: accepting a shared row bit on a contaminated
-/// fast sample would corrupt the final mapping, and contamination is
-/// one-sided, so the strict variant is the right tool here.
-std::optional<bool> vote_delta(measurement_plan& plan,
-                               const os::mapping_region& buffer,
-                               std::uint64_t delta, unsigned votes,
-                               unsigned attempts, rng& r) {
-  // Pair picking only consults the pagemap, so all pairs can be collected
-  // up front and the strict measurements serviced as one controller batch
-  // through the scheduler (re-picked pairs answer from its memo).
-  std::vector<sim::addr_pair> pairs;
-  pairs.reserve(votes);
-  for (unsigned v = 0; v < votes; ++v) {
-    const auto pair = pick_pair_with_delta(buffer, delta, r, attempts);
-    if (pair) pairs.push_back(*pair);
-  }
-  if (pairs.empty()) return std::nullopt;
-  const std::vector<char> verdicts = plan.is_sbdr_strict_batch(pairs);
-  unsigned high = 0;
-  for (char v : verdicts) high += v != 0;
-  return high * 2 > pairs.size();
-}
-
 }  // namespace
 
-fine_outcome run_fine_detection(measurement_plan& plan,
-                                const os::mapping_region& buffer,
+fine_outcome run_fine_detection(bit_probe_engine& probe,
                                 const domain_knowledge& knowledge,
                                 const coarse_result& coarse,
                                 const std::vector<std::uint64_t>& bank_functions,
@@ -95,12 +69,15 @@ fine_outcome run_fine_detection(measurement_plan& plan,
     const unsigned candidate = bits.back();
     if (rows.contains(candidate) || cols.contains(candidate)) continue;
 
-    // Timed confirmation through a bank-invariant delta.
+    // Timed confirmation through a bank-invariant delta: one more designed
+    // experiment on the shared engine (strict-quality votes — accepting a
+    // shared row bit on a contaminated fast sample would corrupt the final
+    // mapping, and contamination is one-sided, so the min filter is the
+    // right tool here).
     bool accept = true;
     const auto delta = bank_invariant_delta(bank_functions, candidate, support);
     if (delta) {
-      const auto verdict = vote_delta(plan, buffer, *delta, config.votes,
-                                      config.pair_attempts, r);
+      const auto verdict = probe.run_one(*delta, config.probe, r, "fine");
       if (verdict.has_value()) {
         accept = *verdict;  // high latency <=> a row bit rides in the delta
       } else {
@@ -185,6 +162,17 @@ fine_outcome run_fine_detection(measurement_plan& plan,
            " shared column bits, " +
            std::to_string(out.rejected_candidates.size()) + " refuted");
   return out;
+}
+
+fine_outcome run_fine_detection(measurement_plan& plan,
+                                const os::mapping_region& buffer,
+                                const domain_knowledge& knowledge,
+                                const coarse_result& coarse,
+                                const std::vector<std::uint64_t>& bank_functions,
+                                rng& r, const fine_config& config) {
+  bit_probe_engine probe(plan, buffer);
+  return run_fine_detection(probe, knowledge, coarse, bank_functions, r,
+                            config);
 }
 
 fine_outcome run_fine_detection(timing::channel& channel,

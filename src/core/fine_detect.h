@@ -12,7 +12,10 @@
 // channel function), so the delta is completed through the GF(2) null
 // space of the resolved functions; high latency confirms a row bit rides
 // in the delta, low latency refutes the candidate (exactly what rejects
-// the pure bank bit 14 proposed by (7,14) on Skylake machines).
+// the pure bank bit 14 proposed by (7,14) on Skylake machines). The
+// confirmation is just another designed experiment on the shared bit-probe
+// engine, so its verdicts draw on the evidence coarse already accreted in
+// the measurement plan.
 //
 // Columns: knowledge-driven as in the paper. Candidates are the
 // function-feeding bits not yet classified; if a unique widest function
@@ -24,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/bit_probe.h"
 #include "core/coarse_detect.h"
 #include "core/domain_knowledge.h"
 #include "core/measurement_plan.h"
@@ -34,8 +38,8 @@
 namespace dramdig::core {
 
 struct fine_config {
-  unsigned votes = 3;            ///< measurements per candidate delta
-  unsigned pair_attempts = 256;
+  /// Vote/design parameters of the probe engine (3 votes per candidate).
+  probe_config probe{.votes = 3};
 };
 
 struct fine_outcome {
@@ -48,9 +52,16 @@ struct fine_outcome {
   bool timing_verified = true;    ///< no accepted candidate lacked a probe
 };
 
-/// Primary interface: candidate votes go through the measurement-reuse
-/// scheduler (shared with partition, so strict verdicts accreted there are
-/// available here and vice versa).
+/// Primary interface: candidate confirmations run on the caller's probe
+/// engine (shared with coarse, measuring through the same reuse scheduler
+/// as partition — verdicts accreted anywhere are available here).
+[[nodiscard]] fine_outcome run_fine_detection(
+    bit_probe_engine& probe, const domain_knowledge& knowledge,
+    const coarse_result& coarse,
+    const std::vector<std::uint64_t>& bank_functions, rng& r,
+    const fine_config& config = {});
+
+/// Convenience overload with a call-local engine over `plan`.
 [[nodiscard]] fine_outcome run_fine_detection(
     measurement_plan& plan, const os::mapping_region& buffer,
     const domain_knowledge& knowledge, const coarse_result& coarse,

@@ -124,6 +124,23 @@ class measurement_plan {
   [[nodiscard]] std::vector<char> is_sbdr_strict_batch(
       std::span<const sim::addr_pair> pairs);
 
+  /// SBDR verdicts with designed-probe economics (the bit-probe engine's
+  /// vote workhorse). Per pair: the exact-pair strict memo or an airtight
+  /// cross-pile proof answers from the cache (same-bank class facts are
+  /// deliberately NOT consulted — SBDR also needs row-distinct, which the
+  /// union-find cannot certify, while a proven cross-bank pair can never
+  /// conflict, so only negatives derive); unknown pairs get one single
+  /// sample, and because noise is one-sided a fast reading alone proves
+  /// the strict verdict negative — only slow readings graduate to strict
+  /// verification, with the vote sample folded into the min filter.
+  /// Verdicts are recorded exactly like is_sbdr_strict_batch's (memo,
+  /// merges, witness entries). Pairs must be distinct within one call.
+  struct probe_outcome {
+    std::vector<char> sbdr;    ///< per-pair majority-grade SBDR verdict
+    std::uint64_t reused = 0;  ///< verdicts answered from the cache
+  };
+  [[nodiscard]] probe_outcome probe_pairs(std::span<const sim::addr_pair> pairs);
+
   /// One partition pivot scan: classify every partner as pile member or
   /// not. Cached relations are answered for free; unknown partners get a
   /// single-sample scan (optionally pre-screened), positives are

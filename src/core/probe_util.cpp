@@ -25,6 +25,26 @@ std::optional<std::pair<std::uint64_t, std::uint64_t>> pick_pair_with_delta(
   return std::nullopt;
 }
 
+std::optional<std::uint64_t> pick_shared_base(
+    const os::mapping_region& buffer, std::span<const std::uint64_t> deltas,
+    rng& r, unsigned attempts) {
+  std::optional<std::uint64_t> best;
+  std::size_t best_served = 0;
+  for (unsigned i = 0; i < attempts; ++i) {
+    const std::uint64_t p = random_buffer_address(buffer, r) & ~std::uint64_t{63};
+    std::size_t served = 0;
+    for (const std::uint64_t d : deltas) {
+      served += buffer.contains_page((p ^ d) / os::kPageSize);
+    }
+    if (served > best_served) {
+      best_served = served;
+      best = p;
+      if (served == deltas.size()) break;  // cannot do better
+    }
+  }
+  return best;
+}
+
 std::vector<std::uint64_t> sample_addresses(const os::mapping_region& buffer,
                                             std::size_t count, rng& r) {
   std::vector<std::uint64_t> out;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -26,6 +27,15 @@ namespace dramdig::core {
 [[nodiscard]] std::optional<std::pair<std::uint64_t, std::uint64_t>>
 pick_pair_with_delta(const os::mapping_region& buffer, std::uint64_t delta,
                      rng& r, unsigned attempts = 256);
+
+/// Pick a shared base for one designed probe round: try `attempts` random
+/// cache-line-aligned bases and return the one whose partner pages
+/// (base ^ delta) back the most of `deltas` — so a single base serves the
+/// whole round's pairs and the round's evidence concentrates on few
+/// addresses. nullopt when no candidate serves any delta.
+[[nodiscard]] std::optional<std::uint64_t> pick_shared_base(
+    const os::mapping_region& buffer, std::span<const std::uint64_t> deltas,
+    rng& r, unsigned attempts = 6);
 
 /// A sample pool of random buffer addresses (used for threshold
 /// calibration).

@@ -188,6 +188,74 @@ TEST(MappingService, ObserverSeesOrderedPhaseEvents) {
   EXPECT_EQ(observer.measurements, outcomes[0].result.measurement_count);
 }
 
+TEST(MappingService, DramaStreamsPerTrialEvents) {
+  // DRAMA used to emit one terminal event; a driver watching a job now
+  // sees every trial land, and the trial deltas sum to the exact totals.
+  std::vector<job_spec> jobs{{dram::machine_by_number(1), "drama",
+                              tool_options{}.with_drama(fast_drama()), 5}};
+  recording_observer observer;
+  const auto outcomes = mapping_service({.threads = 1}).run(jobs, &observer);
+  ASSERT_EQ(outcomes[0].state, job_state::completed);
+  const auto trial_events =
+      std::count(observer.events.begin(), observer.events.end(),
+                 "phase:0:trial");
+  EXPECT_GE(trial_events, 2);  // agreement needs two valid trials minimum
+  EXPECT_EQ(observer.measurements, outcomes[0].result.measurement_count);
+}
+
+TEST(MappingService, DramDigStreamsDesignedProbeRounds) {
+  // The bit-probe engine's rounds ride the same observer stream; their
+  // cost is metered by the owning coarse/fine phase events, so the
+  // measurement sum stays exact (checked by ObserverSeesOrderedPhaseEvents).
+  std::vector<job_spec> jobs{{dram::machine_by_number(4), "dramdig", {}, 42}};
+  recording_observer observer;
+  const auto outcomes = mapping_service({.threads = 1}).run(jobs, &observer);
+  ASSERT_EQ(outcomes[0].state, job_state::completed);
+  const auto row_rounds =
+      std::count(observer.events.begin(), observer.events.end(),
+                 "phase:0:probe:coarse.row");
+  const auto col_rounds =
+      std::count(observer.events.begin(), observer.events.end(),
+                 "phase:0:probe:coarse.col");
+  EXPECT_GE(row_rounds, 4);  // majority of 7 needs at least 4 rounds
+  EXPECT_LE(row_rounds, 7);
+  EXPECT_GE(col_rounds, 4);
+  EXPECT_GT(outcomes[0].result.probe_rounds.votes_saved, 0u);
+}
+
+TEST(MappingService, CancellationAbortsRunningDramaAtTrialBoundary) {
+  // Machine No.3 never reaches agreement, so an uncancelled run burns all
+  // its trials. The observer flips the token after the second trial event;
+  // the bound abort predicate stops the running job at the next boundary
+  // and the outcome says what happened.
+  class trial_cancelling_observer final : public progress_observer {
+   public:
+    explicit trial_cancelling_observer(cancellation_token* cancel)
+        : cancel_(cancel) {}
+    void on_job_phase(std::size_t, std::string_view phase,
+                      const core::phase_stats&) override {
+      if (phase == "trial" && ++trials_ >= 2) cancel_->cancel();
+    }
+
+   private:
+    cancellation_token* cancel_;
+    unsigned trials_ = 0;
+  };
+
+  baselines::drama_config cfg = fast_drama();
+  cfg.max_trials = 8;
+  std::vector<job_spec> jobs{{dram::machine_by_number(3), "drama",
+                              tool_options{}.with_drama(cfg), 5}};
+  cancellation_token cancel;
+  trial_cancelling_observer observer(&cancel);
+  const auto outcomes =
+      mapping_service({.threads = 1}).run(jobs, &observer, &cancel);
+  ASSERT_EQ(outcomes[0].state, job_state::completed);
+  EXPECT_EQ(outcomes[0].result.outcome, "aborted");
+  EXPECT_FALSE(outcomes[0].result.success);
+  EXPECT_EQ(outcomes[0].result.detail, "2 trials");  // 8 without the token
+}
+
 TEST(MappingService, CancellationStopsPendingJobsOnly) {
   // One worker, four jobs; the observer cancels as the first job lands.
   std::vector<job_spec> jobs;

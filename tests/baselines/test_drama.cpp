@@ -87,6 +87,43 @@ TEST(Drama, MeasurementCostDominatesRuntime) {
   EXPECT_GT(report.total_seconds, 10.0);
 }
 
+TEST(Drama, PerTrialEventsSumToTheRunTotals) {
+  // Every measurement happens inside a trial, so the per-trial deltas must
+  // reconstruct the run exactly — the contract the mapping_service
+  // observers rely on.
+  core::environment env(dram::machine_by_number(1), 9);
+  drama_config cfg = fast_config();
+  unsigned events = 0;
+  std::uint64_t measurements = 0;
+  double seconds = 0.0;
+  cfg.on_phase = [&](std::string_view phase, const core::phase_stats& delta) {
+    EXPECT_EQ(phase, "trial");
+    ++events;
+    measurements += delta.measurements;
+    seconds += delta.seconds;
+  };
+  const auto report = drama_tool(env, cfg).run();
+  EXPECT_EQ(events, report.trials_run);
+  EXPECT_EQ(measurements, report.total_measurements);
+  EXPECT_NEAR(seconds, report.total_seconds, 1e-6);
+}
+
+TEST(Drama, AbortStopsAtTheNextTrialBoundary) {
+  core::environment env(dram::machine_by_number(3), 5);
+  drama_config cfg = fast_config();
+  cfg.max_trials = 8;
+  unsigned trials_seen = 0;
+  cfg.on_phase = [&](std::string_view, const core::phase_stats&) {
+    ++trials_seen;
+  };
+  cfg.should_abort = [&] { return trials_seen >= 3; };
+  const auto report = drama_tool(env, cfg).run();
+  EXPECT_TRUE(report.aborted);
+  EXPECT_FALSE(report.completed);
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_EQ(report.trials_run, 3u);
+}
+
 TEST(Drama, NullspaceAblationMatchesBruteForceOnCleanMachines) {
   // The "what if DRAMA had the algebra" arm: on clean trials the null
   // space of the cluster differences is exactly the set of masks the

@@ -1,0 +1,208 @@
+// The designed-experiment engine's acceptance pins: designed mode and the
+// legacy fixed-vote oracle must classify every bit identically on every
+// paper preset and under noisy seeds, while the designed mode pays
+// measurably less; probe_pairs must reuse the plan's evidence.
+#include "core/bit_probe.h"
+
+#include <gtest/gtest.h>
+
+#include "core/coarse_detect.h"
+#include "core/fine_detect.h"
+#include "core_test_util.h"
+
+namespace dramdig::core {
+namespace {
+
+using testing::pipeline_fixture;
+
+struct probed_run {
+  coarse_result coarse;
+  fine_outcome fine;
+  std::uint64_t measurements = 0;
+  probe_stats stats;
+};
+
+/// Coarse + fine (with the machine's true functions, isolating the probed
+/// phases from partition) in one mode, on a fresh fixture.
+probed_run run_probed_phases(int machine, std::uint64_t seed, bool designed) {
+  pipeline_fixture f(machine, seed);
+  measurement_plan plan(f.channel);
+  bit_probe_engine engine(plan, f.buffer);
+  coarse_config coarse_cfg{};
+  coarse_cfg.probe.use_designed = designed;
+  fine_config fine_cfg{};
+  fine_cfg.probe.use_designed = designed;
+  probed_run out;
+  const std::uint64_t m0 = f.env.mach().controller().measurement_count();
+  out.coarse = run_coarse_detection(engine, f.knowledge, f.r, coarse_cfg);
+  out.fine = run_fine_detection(engine, f.knowledge, out.coarse,
+                                f.env.spec().mapping.bank_functions(), f.r,
+                                fine_cfg);
+  out.measurements = f.env.mach().controller().measurement_count() - m0;
+  out.stats = engine.stats();
+  return out;
+}
+
+void expect_identical_classifications(const probed_run& legacy,
+                                      const probed_run& designed,
+                                      const std::string& label) {
+  EXPECT_EQ(legacy.coarse.row_bits, designed.coarse.row_bits) << label;
+  EXPECT_EQ(legacy.coarse.column_bits, designed.coarse.column_bits) << label;
+  EXPECT_EQ(legacy.coarse.bank_bits, designed.coarse.bank_bits) << label;
+  EXPECT_EQ(legacy.coarse.untestable_bits, designed.coarse.untestable_bits)
+      << label;
+  EXPECT_EQ(legacy.fine.row_bits, designed.fine.row_bits) << label;
+  EXPECT_EQ(legacy.fine.column_bits, designed.fine.column_bits) << label;
+  EXPECT_EQ(legacy.fine.shared_row_bits, designed.fine.shared_row_bits)
+      << label;
+  EXPECT_EQ(legacy.fine.shared_column_bits, designed.fine.shared_column_bits)
+      << label;
+  EXPECT_EQ(legacy.fine.counts_satisfied, designed.fine.counts_satisfied)
+      << label;
+}
+
+TEST(BitProbeDifferential, IdenticalClassificationsOnEveryPreset) {
+  for (int machine = 1; machine <= 9; ++machine) {
+    const probed_run legacy = run_probed_phases(machine, 7, false);
+    const probed_run designed = run_probed_phases(machine, 7, true);
+    expect_identical_classifications(legacy, designed,
+                                     "No." + std::to_string(machine));
+  }
+}
+
+TEST(BitProbeDifferential, IdenticalClassificationsOnNoisySeeds) {
+  // The noisy mobile units, across randomized seeds: single-sample
+  // negatives plus strict-verified positives must land on the legacy
+  // all-strict verdicts every time.
+  for (int machine : {3, 7}) {
+    for (std::uint64_t seed : {11u, 23u, 55u, 101u}) {
+      const probed_run legacy = run_probed_phases(machine, seed, false);
+      const probed_run designed = run_probed_phases(machine, seed, true);
+      expect_identical_classifications(
+          legacy, designed,
+          "No." + std::to_string(machine) + " seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(BitProbe, DesignedCutsCoarseFineMeasurementsOnSmallMachines) {
+  // The acceptance floor behind bench_guard --min-probe-reduction: the
+  // small machines were dominated by coarse voting.
+  for (int machine : {1, 4, 7}) {
+    const probed_run legacy = run_probed_phases(machine, 7, false);
+    const probed_run designed = run_probed_phases(machine, 7, true);
+    EXPECT_LE(designed.measurements * 10, legacy.measurements * 7)
+        << "No." << machine << ": designed " << designed.measurements
+        << " vs legacy " << legacy.measurements;
+  }
+}
+
+TEST(BitProbe, EarlyTerminationAndRoundBatchingShowInStats) {
+  const probed_run designed = run_probed_phases(1, 7, true);
+  // Unanimous experiments stop after ceil(votes/2) votes, so the engine
+  // must save a large share of the legacy 7-votes-per-bit budget...
+  EXPECT_GT(designed.stats.votes_saved, designed.stats.experiments);
+  EXPECT_LT(designed.stats.votes_cast, designed.stats.experiments * 7);
+  // ...and the whole coarse phase collapses into a handful of cross-bit
+  // rounds (the legacy row pass alone was ~27 per-bit batches).
+  EXPECT_LE(designed.stats.rounds,
+            7u * 2u + designed.fine.shared_row_bits.size() * 3u +
+                designed.fine.rejected_candidates.size() * 3u);
+  // Shared bases serve a meaningful share of the votes.
+  EXPECT_GT(designed.stats.shared_base_votes, designed.stats.votes_cast / 4);
+}
+
+TEST(BitProbe, LegacyModeIsUntouchedByTheEngineWrapper) {
+  // The oracle path must replay the pre-engine loops bit for bit: same rng
+  // consumption, same verdicts — pinned by comparing against a literal
+  // transcription of the old vote loop.
+  pipeline_fixture f(4, 19);
+  measurement_plan plan(f.channel);
+  bit_probe_engine engine(plan, f.buffer);
+  const std::uint64_t delta = std::uint64_t{1} << 20;
+
+  rng transcript_rng(99);
+  std::vector<sim::addr_pair> pairs;
+  for (unsigned v = 0; v < 7; ++v) {
+    const auto pair = pick_pair_with_delta(f.buffer, delta, transcript_rng, 256);
+    if (pair) pairs.push_back(*pair);
+  }
+  ASSERT_FALSE(pairs.empty());
+  const std::vector<char> verdicts = plan.is_sbdr_strict_batch(pairs);
+  unsigned high = 0;
+  for (char v : verdicts) high += v != 0;
+  const bool expected = high * 2 > pairs.size();
+
+  // Fresh fixture (same machine/seed) so the simulated noise sequence and
+  // pagemap match; the engine must reproduce the verdict exactly.
+  pipeline_fixture g(4, 19);
+  measurement_plan plan2(g.channel);
+  bit_probe_engine engine2(plan2, g.buffer);
+  rng engine_rng(99);
+  probe_config legacy{};
+  legacy.use_designed = false;
+  const auto verdict = engine2.run_one(delta, legacy, engine_rng);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(*verdict, expected);
+}
+
+TEST(BitProbe, UntestableDeltaReturnsNulloptInBothModes) {
+  pipeline_fixture f(4, 7);
+  measurement_plan plan(f.channel);
+  bit_probe_engine engine(plan, f.buffer);
+  // A delta far above installed memory: no partner page can ever back it.
+  const std::uint64_t delta = std::uint64_t{1} << 40;
+  for (const bool designed : {false, true}) {
+    probe_config cfg{};
+    cfg.use_designed = designed;
+    EXPECT_EQ(engine.run_one(delta, cfg, f.r), std::nullopt)
+        << (designed ? "designed" : "legacy");
+  }
+}
+
+TEST(BitProbe, ProbePairsAnswersRepeatsFromThePlanCache) {
+  pipeline_fixture f(1, 7);
+  measurement_plan plan(f.channel);
+  std::vector<sim::addr_pair> pairs;
+  for (unsigned b = 20; b < 26; ++b) {
+    const auto pair =
+        pick_pair_with_delta(f.buffer, std::uint64_t{1} << b, f.r, 256);
+    ASSERT_TRUE(pair.has_value());
+    pairs.push_back(*pair);
+  }
+  const auto first = plan.probe_pairs(pairs);
+  EXPECT_EQ(first.reused, 0u);
+  const std::uint64_t measured =
+      f.env.mach().controller().measurement_count();
+  const auto second = plan.probe_pairs(pairs);
+  EXPECT_EQ(second.sbdr, first.sbdr);
+  EXPECT_EQ(second.reused, pairs.size());
+  EXPECT_EQ(f.env.mach().controller().measurement_count(), measured)
+      << "repeat probes must not touch the controller";
+}
+
+TEST(BitProbe, ProbePairsMatchesStrictVerdicts) {
+  // The designed vote's adaptive economics (single-sample negatives,
+  // strict-verified positives) must land on the same verdicts as the
+  // all-strict predicate, pair for pair.
+  pipeline_fixture f(7, 31);
+  measurement_plan probe_plan(f.channel);
+  std::vector<sim::addr_pair> pairs;
+  for (unsigned b = f.knowledge.min_probe_bit; b < f.knowledge.address_bits;
+       ++b) {
+    const auto pair =
+        pick_pair_with_delta(f.buffer, std::uint64_t{1} << b, f.r, 256);
+    if (pair) pairs.push_back(*pair);
+  }
+  ASSERT_GT(pairs.size(), 10u);
+  const auto probed = probe_plan.probe_pairs(pairs);
+
+  pipeline_fixture g(7, 31);
+  measurement_plan strict_plan(g.channel);
+  // Same physical pairs measured strictly on an identical twin machine.
+  const std::vector<char> strict = strict_plan.is_sbdr_strict_batch(pairs);
+  EXPECT_EQ(probed.sbdr, strict);
+}
+
+}  // namespace
+}  // namespace dramdig::core

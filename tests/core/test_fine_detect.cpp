@@ -119,6 +119,25 @@ TEST(FineDetect, RowsAndColumnsStayDisjoint) {
   }
 }
 
+TEST(FineDetect, UnsolvableInvariantDeltaFallsBackToKnowledge) {
+  // A candidate whose invariant system has no solution: the 1-bit function
+  // {19} pins bit 19 to zero in every bank-invariant delta while the
+  // candidate constraint pins it to one, so no timed probe exists. The
+  // paper's knowledge fallback accepts the candidate but the outcome must
+  // say so (timing_verified = false).
+  pipeline_fixture f(1);
+  const auto coarse =
+      run_coarse_detection(f.channel, f.buffer, f.knowledge, f.r);
+  const std::vector<std::uint64_t> funcs{(1ull << 14) | (1ull << 19),
+                                         1ull << 19};
+  const auto out = run_fine_detection(f.channel, f.buffer, f.knowledge,
+                                      coarse, funcs, f.r);
+  EXPECT_FALSE(out.timing_verified);
+  EXPECT_TRUE(std::find(out.shared_row_bits.begin(), out.shared_row_bits.end(),
+                        19u) != out.shared_row_bits.end());
+  EXPECT_TRUE(out.rejected_candidates.empty());
+}
+
 TEST(FineDetect, RequiresBankFunctions) {
   pipeline_fixture f(1);
   const auto coarse =
