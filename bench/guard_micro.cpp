@@ -83,6 +83,12 @@ int main(int argc, char** argv) {
   double min_accounting = 3.0;
   double min_rep_reduction = 0.25;
   double min_probe_reduction = 0.30;
+  double min_batch_speedup = 1.0;
+  // The smoke reuse machine (No.4) saves only ~6% of its measurements, so
+  // its wall delta sits at noise level; the floor asserts the plan's
+  // bookkeeping stays under a few percent of wall, not a speedup.
+  double min_reuse_wall_speedup = 0.95;
+  double min_hot_throughput = 2000000.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--min-nullspace=", 16) == 0) {
       min_nullspace = std::strtod(argv[i] + 16, nullptr);
@@ -92,6 +98,12 @@ int main(int argc, char** argv) {
       min_rep_reduction = std::strtod(argv[i] + 20, nullptr);
     } else if (std::strncmp(argv[i], "--min-probe-reduction=", 22) == 0) {
       min_probe_reduction = std::strtod(argv[i] + 22, nullptr);
+    } else if (std::strncmp(argv[i], "--min-batch-speedup=", 20) == 0) {
+      min_batch_speedup = std::strtod(argv[i] + 20, nullptr);
+    } else if (std::strncmp(argv[i], "--min-reuse-wall-speedup=", 25) == 0) {
+      min_reuse_wall_speedup = std::strtod(argv[i] + 25, nullptr);
+    } else if (std::strncmp(argv[i], "--min-hot-throughput=", 21) == 0) {
+      min_hot_throughput = std::strtod(argv[i] + 21, nullptr);
     } else {
       path = argv[i];
     }
@@ -100,7 +112,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: bench_guard BENCH_micro.json [--min-nullspace=N] "
                  "[--min-accounting=N] [--min-rep-reduction=F] "
-                 "[--min-probe-reduction=F]\n");
+                 "[--min-probe-reduction=F] [--min-batch-speedup=N] "
+                 "[--min-reuse-wall-speedup=N] [--min-hot-throughput=N]\n");
     return 2;
   }
   std::ifstream in(path);
@@ -120,6 +133,33 @@ int main(int argc, char** argv) {
   check_true(doc, "partition_measurement_reuse", "ok_cache_on", failures);
   // A failed baseline would make the reduction comparison meaningless.
   check_true(doc, "partition_measurement_reuse", "ok_cache_off", failures);
+
+  // The batch-native hot path must beat the scalar measure_pair loop on
+  // wall time, and the plan's bookkeeping must cost less than the
+  // measurements it saves over a whole pipeline run.
+  check_speedup(doc, "batched_measurement", min_batch_speedup, failures);
+  check_speedup(doc, "partition_measurement_reuse", min_reuse_wall_speedup,
+                failures);
+
+  // Raw hot-path throughput: the slower of decode/measure at 100k pairs
+  // must clear the floor (simulated measurements per host second).
+  const std::string mps_text =
+      value_after(doc, "hot_path_throughput", "min_mps_100k");
+  if (mps_text.empty()) {
+    std::fprintf(stderr, "guard: hot_path_throughput.min_mps_100k missing\n");
+    ++failures;
+  } else {
+    const double mps = std::strtod(mps_text.c_str(), nullptr);
+    if (mps < min_hot_throughput) {
+      std::fprintf(stderr,
+                   "guard: hot path runs %.2fM meas/s, below the %.2fM floor\n",
+                   mps / 1e6, min_hot_throughput / 1e6);
+      ++failures;
+    } else {
+      std::printf("guard: hot path %.2fM meas/s (floor %.2fM) ok\n", mps / 1e6,
+                  min_hot_throughput / 1e6);
+    }
+  }
 
   // The scheduler must reduce the measurement count, not just match it.
   const std::string off =

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <span>
 #include <string>
 
 #include "core/address_selection.h"
@@ -271,17 +272,37 @@ void emit_bench_json(const std::string& path, bool smoke) {
     pairs.emplace_back(addr.below(spec.memory_bytes) & ~63ull,
                        addr.below(spec.memory_bytes) & ~63ull);
   }
-  sim::machine scalar_machine(spec, 11, sim::timing_profile_for(spec));
+  // Min-of-3 passes on one persistent machine per variant: the production
+  // embedding (the timing channel) reuses its controller and result
+  // buffers across calls, so steady-state throughput — not first-call
+  // buffer growth — is the honest comparison, and the min also absorbs
+  // scheduler stalls (the ratio is CI-gated via
+  // bench_guard --min-batch-speedup). Both machines run the identical
+  // three passes, so their virtual clocks stay comparable.
   auto t0 = std::chrono::steady_clock::now();
-  for (const auto& [a, b] : pairs) {
-    benchmark::DoNotOptimize(scalar_machine.controller().measure_pair(a, b, 1000));
+  double scalar_wall_s = 1e300, batch_wall_s = 1e300;
+  sim::machine scalar_machine(spec, 11, sim::timing_profile_for(spec));
+  for (int rep = 0; rep < 3; ++rep) {
+    t0 = std::chrono::steady_clock::now();
+    for (const auto& [a, b] : pairs) {
+      benchmark::DoNotOptimize(
+          scalar_machine.controller().measure_pair(a, b, 1000));
+    }
+    scalar_wall_s = std::min(scalar_wall_s, wall_seconds_since(t0));
   }
-  const double scalar_wall_s = wall_seconds_since(t0);
-
   sim::machine batch_machine(spec, 11, sim::timing_profile_for(spec));
-  t0 = std::chrono::steady_clock::now();
-  benchmark::DoNotOptimize(batch_machine.controller().measure_pairs(pairs, 1000));
-  const double batch_wall_s = wall_seconds_since(t0);
+  std::vector<sim::pair_measurement> batch_results;
+  for (int rep = 0; rep < 3; ++rep) {
+    t0 = std::chrono::steady_clock::now();
+    batch_machine.controller().measure_pairs(pairs, 1000, batch_results);
+    batch_wall_s = std::min(batch_wall_s, wall_seconds_since(t0));
+    benchmark::DoNotOptimize(batch_results.data());
+  }
+  const std::uint64_t batch_virtual_ns = batch_machine.clock().now_ns();
+  const std::uint64_t batch_accesses =
+      batch_machine.controller().access_count();
+  const std::uint64_t batch_measurements =
+      batch_machine.controller().measurement_count();
 
   // Closed-form access accounting vs the per-access loop oracle: same
   // batch, same seeds — the results must be bit-identical while the loop
@@ -460,21 +481,134 @@ void emit_bench_json(const std::string& path, bool smoke) {
     probe_min_reduction = std::min(probe_min_reduction, probe_reduction(row));
   }
 
+  // Hot-path throughput: simulated measurements per second through each
+  // layer of the batch-native stack — pure SoA decode, the full batched
+  // measure (decode + latency model), and the plan-mediated vote path — at
+  // three batch sizes. Min-of-3 on fresh machines per repetition;
+  // min_mps_100k (the slower of decode/measure on the mid tier) is
+  // CI-gated (bench_guard --min-hot-throughput).
+  struct hot_row {
+    const char* suffix;
+    std::size_t pairs = 0;
+    double decode_mps = 0.0;
+    double measure_mps = 0.0;
+    double plan_mps = 0.0;
+  };
+  std::vector<hot_row> hot_rows{
+      {"10k", 10000}, {"100k", 100000}, {"1m", 1000000}};
+  {
+    rng hot_addr(7);
+    std::vector<sim::addr_pair> hot_pairs;
+    hot_pairs.reserve(hot_rows.back().pairs);
+    std::vector<sim::pair_measurement> hot_out;
+    for (hot_row& row : hot_rows) {
+      while (hot_pairs.size() < row.pairs) {
+        hot_pairs.emplace_back(hot_addr.below(spec.memory_bytes) & ~63ull,
+                               hot_addr.below(spec.memory_bytes) & ~63ull);
+      }
+      const std::span<const sim::addr_pair> span(hot_pairs.data(), row.pairs);
+      double decode_s = 1e300, measure_s = 1e300, plan_s = 1e300;
+      for (int rep = 0; rep < 3; ++rep) {
+        sim::machine m(spec, 11, sim::timing_profile_for(spec));
+        auto tick = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(&m.controller().decode_pairs(span));
+        decode_s = std::min(decode_s, wall_seconds_since(tick));
+
+        tick = std::chrono::steady_clock::now();
+        m.controller().measure_pairs(span, 1000, hot_out);
+        measure_s = std::min(measure_s, wall_seconds_since(tick));
+        benchmark::DoNotOptimize(hot_out.data());
+
+        core::environment env(spec, 77);
+        const auto& buffer = env.space().map_buffer(spec.memory_bytes / 2);
+        rng cal(5);
+        timing::channel channel(env.mach().controller(),
+                                {.rounds_per_measurement = 1000,
+                                 .samples_per_latency = 3,
+                                 .calibration_pairs = 1200},
+                                rng(9));
+        channel.calibrate(core::sample_addresses(buffer, 1024, cal));
+        core::measurement_plan plan(channel);
+        tick = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(
+            plan.classify_pairs(span, /*verify_positives=*/false)
+                .member.data());
+        plan_s = std::min(plan_s, wall_seconds_since(tick));
+      }
+      const auto mps = [&row](double s) {
+        return static_cast<double>(row.pairs) / std::max(s, 1e-12);
+      };
+      row.decode_mps = mps(decode_s);
+      row.measure_mps = mps(measure_s);
+      row.plan_mps = mps(plan_s);
+    }
+  }
+  const double min_mps_100k =
+      std::min(hot_rows[1].decode_mps, hot_rows[1].measure_mps);
+
+  // Plan overhead per verdict: the same vote batch classified three times.
+  // With reuse on, passes 2-3 never touch the channel — the wall time is
+  // plan bookkeeping (hash lookups, root cache, witness scans); with reuse
+  // off every pass re-measures. The ratio is CI-gated indirectly through
+  // partition_measurement_reuse.wall_speedup below; here the per-verdict
+  // nanoseconds are tracked so an index regression is visible in review.
+  const std::size_t overhead_pair_count = smoke ? 20000 : 50000;
+  double overhead_on_s = 1e300, overhead_off_s = 1e300;
+  {
+    rng ov_addr(13);
+    std::vector<sim::addr_pair> ov_pairs;
+    ov_pairs.reserve(overhead_pair_count);
+    for (std::size_t i = 0; i < overhead_pair_count; ++i) {
+      ov_pairs.emplace_back(ov_addr.below(spec.memory_bytes) & ~63ull,
+                            ov_addr.below(spec.memory_bytes) & ~63ull);
+    }
+    for (int rep = 0; rep < 3; ++rep) {
+      for (const bool reuse : {true, false}) {
+        core::environment env(spec, 88);
+        const auto& buffer = env.space().map_buffer(spec.memory_bytes / 2);
+        rng cal(5);
+        timing::channel channel(env.mach().controller(),
+                                {.rounds_per_measurement = 1000,
+                                 .samples_per_latency = 3,
+                                 .calibration_pairs = 1200},
+                                rng(9));
+        channel.calibrate(core::sample_addresses(buffer, 1024, cal));
+        core::measurement_plan plan(channel, {.reuse_verdicts = reuse});
+        const auto tick = std::chrono::steady_clock::now();
+        for (int pass = 0; pass < 3; ++pass) {
+          benchmark::DoNotOptimize(
+              plan.classify_pairs(ov_pairs, /*verify_positives=*/false)
+                  .member.data());
+        }
+        (reuse ? overhead_on_s : overhead_off_s) = std::min(
+            reuse ? overhead_on_s : overhead_off_s, wall_seconds_since(tick));
+      }
+    }
+  }
+  const std::uint64_t overhead_verdicts = 3 * overhead_pair_count;
+
   // Measurement-reuse scheduler: the same full pipeline run with the
   // verdict cache on vs off — the measurement *count* is the paper's cost
-  // metric, the wall times bound the host cost.
+  // metric, the wall times bound the host cost. Min-of-3 on fresh
+  // environments per repetition: the wall ratio is CI-gated
+  // (bench_guard --min-reuse-wall-speedup) as the whole-pipeline proof
+  // that the plan's bookkeeping costs less than the measurements it saves.
   const auto reuse_spec = dram::machine_by_number(smoke ? 4 : 2);
   core::dramdig_config cache_off{};
   cache_off.plan.reuse_verdicts = false;
-  core::environment env_off(reuse_spec, 2000 + reuse_spec.number);
-  t0 = std::chrono::steady_clock::now();
-  const auto report_off = core::dramdig_tool(env_off, cache_off).run();
-  const double reuse_off_wall_s = wall_seconds_since(t0);
+  core::dramdig_report report_off, report_on;
+  double reuse_off_wall_s = 1e300, reuse_on_wall_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    core::environment env_off(reuse_spec, 2000 + reuse_spec.number);
+    t0 = std::chrono::steady_clock::now();
+    report_off = core::dramdig_tool(env_off, cache_off).run();
+    reuse_off_wall_s = std::min(reuse_off_wall_s, wall_seconds_since(t0));
 
-  core::environment env_on(reuse_spec, 2000 + reuse_spec.number);
-  t0 = std::chrono::steady_clock::now();
-  const auto report_on = core::dramdig_tool(env_on).run();
-  const double reuse_on_wall_s = wall_seconds_since(t0);
+    core::environment env_on(reuse_spec, 2000 + reuse_spec.number);
+    t0 = std::chrono::steady_clock::now();
+    report_on = core::dramdig_tool(env_on).run();
+    reuse_on_wall_s = std::min(reuse_on_wall_s, wall_seconds_since(t0));
+  }
 
   json_writer w;
   w.begin_object();
@@ -498,10 +632,30 @@ void emit_bench_json(const std::string& path, bool smoke) {
   w.key("scalar_wall_s").value(scalar_wall_s);
   w.key("batch_wall_s").value(batch_wall_s);
   w.key("wall_speedup").value(scalar_wall_s / std::max(batch_wall_s, 1e-9));
-  w.key("virtual_ns").value(batch_machine.clock().now_ns());
-  w.key("access_count").value(batch_machine.controller().access_count());
-  w.key("measurement_count")
-      .value(batch_machine.controller().measurement_count());
+  w.key("virtual_ns").value(batch_virtual_ns);
+  w.key("access_count").value(batch_accesses);
+  w.key("measurement_count").value(batch_measurements);
+  w.end_object();
+  w.key("hot_path_throughput").begin_object();
+  for (const hot_row& row : hot_rows) {
+    const std::string suffix = row.suffix;
+    w.key("pairs_" + suffix).value(row.pairs);
+    w.key("decode_mps_" + suffix).value(row.decode_mps);
+    w.key("measure_mps_" + suffix).value(row.measure_mps);
+    w.key("plan_mps_" + suffix).value(row.plan_mps);
+  }
+  w.key("min_mps_100k").value(min_mps_100k);
+  w.end_object();
+  w.key("plan_overhead").begin_object();
+  w.key("verdicts").value(overhead_verdicts);
+  w.key("wall_cache_on_s").value(overhead_on_s);
+  w.key("wall_cache_off_s").value(overhead_off_s);
+  w.key("ns_per_verdict_on")
+      .value(overhead_on_s * 1e9 / static_cast<double>(overhead_verdicts));
+  w.key("ns_per_verdict_off")
+      .value(overhead_off_s * 1e9 / static_cast<double>(overhead_verdicts));
+  w.key("wall_speedup")
+      .value(overhead_off_s / std::max(overhead_on_s, 1e-9));
   w.end_object();
   w.key("measurement_accounting").begin_object();
   w.key("pair_count").value(pair_count);
@@ -545,6 +699,8 @@ void emit_bench_json(const std::string& path, bool smoke) {
                  std::max<std::uint64_t>(report_on.total_measurements, 1)));
   w.key("wall_cache_off_s").value(reuse_off_wall_s);
   w.key("wall_cache_on_s").value(reuse_on_wall_s);
+  w.key("wall_speedup")
+      .value(reuse_off_wall_s / std::max(reuse_on_wall_s, 1e-9));
   w.end_object();
   w.end_object();
   write_file(path, w.str());
@@ -558,6 +714,18 @@ void emit_bench_json(const std::string& path, bool smoke) {
   std::printf("batched engine, %zu pairs: scalar %.3fs, batch %.3fs (%.1fx)\n",
               pair_count, scalar_wall_s, batch_wall_s,
               scalar_wall_s / std::max(batch_wall_s, 1e-9));
+  for (const hot_row& row : hot_rows) {
+    std::printf("hot path at %zu pairs: decode %.1fM/s, measure %.1fM/s, "
+                "plan %.1fM/s\n",
+                row.pairs, row.decode_mps / 1e6, row.measure_mps / 1e6,
+                row.plan_mps / 1e6);
+  }
+  std::printf("plan overhead, %llu verdicts x3 passes: cache on %.0f ns/verdict,"
+              " off %.0f ns/verdict (%.1fx)\n",
+              static_cast<unsigned long long>(overhead_verdicts),
+              overhead_on_s * 1e9 / static_cast<double>(overhead_verdicts),
+              overhead_off_s * 1e9 / static_cast<double>(overhead_verdicts),
+              overhead_off_s / std::max(overhead_on_s, 1e-9));
   std::printf("accounting, %zu pairs: access loop %.3fs, closed form %.4fs "
               "(%.0fx), identical results: %s\n",
               pair_count, loop_wall_s, closed_wall_s,

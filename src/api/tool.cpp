@@ -166,11 +166,30 @@ class xiao_adapter final : public mapping_tool {
             "verified microarchitecture templates + stride scan"};
   }
 
+  void bind_abort(std::function<bool()> should_abort) override {
+    abort_ = std::move(should_abort);
+  }
+
   [[nodiscard]] tool_result run(core::environment& env,
                                 const phase_hook& hook) override {
+    baselines::xiao_config cfg = options_.xiao();
+    // Per-stage events stream to both the config's own consumer and the
+    // service observer; the terminal "scan" record stays in the phases
+    // list, so terminal-result consumers keep the old one-line summary
+    // while live observers see the stage-by-stage deltas.
+    cfg.on_phase = chain(cfg.on_phase, hook);
+    if (abort_) {
+      if (auto existing = std::move(cfg.should_abort); existing) {
+        cfg.should_abort = [existing = std::move(existing), this] {
+          return existing() || abort_();
+        };
+      } else {
+        cfg.should_abort = abort_;
+      }
+    }
     access_meter accesses(env);
     const baselines::xiao_report report =
-        baselines::xiao_tool(env, options_.xiao()).run();
+        baselines::xiao_tool(env, cfg).run();
 
     tool_result out;
     out.tool = "xiao";
@@ -179,6 +198,7 @@ class xiao_adapter final : public mapping_tool {
     out.verified = report.success && report.mapping &&
                    report.mapping->equivalent_to(env.spec().mapping);
     out.outcome = report.success   ? "success"
+                  : report.aborted ? "aborted"
                   : report.stalled ? "stuck"
                                    : "failed";
     out.detail = report.note;
@@ -188,10 +208,6 @@ class xiao_adapter final : public mapping_tool {
     }
     out.phases = {{"scan", report.total_seconds, report.total_measurements,
                    0}};
-    if (hook) {
-      hook("scan", core::phase_stats{report.total_seconds,
-                                     report.total_measurements, 0});
-    }
     out.virtual_seconds = report.total_seconds;
     out.measurement_count = report.total_measurements;
     out.access_count = accesses.delta();
@@ -200,6 +216,7 @@ class xiao_adapter final : public mapping_tool {
 
  private:
   tool_options options_;
+  std::function<bool()> abort_;
 };
 
 }  // namespace

@@ -36,12 +36,15 @@ std::optional<dram::address_mapping> lookup_template(
 
 /// Detect row-only bits with single-bit flips (same technique as
 /// DRAMDig's Step 1 — the paper notes DRAMDig uses "the same approach as
-/// the work [14]", i.e. this tool).
+/// the work [14]", i.e. this tool). Stops at the current bit when `abort`
+/// fires; the caller re-checks and reports the abort.
 std::vector<unsigned> scan_row_bits(timing::channel& channel,
                                     const os::mapping_region& buffer,
-                                    unsigned address_bits, rng& r) {
+                                    unsigned address_bits, rng& r,
+                                    const std::function<bool()>& abort) {
   std::vector<unsigned> rows;
   for (unsigned b = 6; b < address_bits; ++b) {
+    if (abort && abort()) break;
     unsigned high = 0, cast = 0;
     for (unsigned v = 0; v < 5; ++v) {
       const auto pair =
@@ -77,6 +80,36 @@ xiao_report xiao_tool::run() {
   const std::uint64_t m0 = mc.measurement_count();
   const unsigned address_bits = log2_exact(env_.spec().memory_bytes);
 
+  // Stage metering, DRAMA-style: each emit() reports the clock/measurement
+  // delta since the previous one, so the per-stage deltas sum exactly to
+  // the run's totals whatever path the run takes.
+  std::uint64_t phase_t = t0;
+  std::uint64_t phase_m = m0;
+  const auto emit = [&](std::string_view stage) {
+    const std::uint64_t now = mc.clock().now_ns();
+    const std::uint64_t m = mc.measurement_count();
+    if (config_.on_phase) {
+      config_.on_phase(stage, {.seconds = mc.clock().seconds_since(phase_t),
+                               .measurements = m - phase_m,
+                               .pairs_used = 0});
+    }
+    phase_t = now;
+    phase_m = m;
+  };
+  const auto abort_requested = [&] {
+    return config_.should_abort && config_.should_abort();
+  };
+  const auto finish_aborted = [&] {
+    report.aborted = true;
+    report.success = false;
+    report.stalled = false;
+    report.note += (report.note.empty() ? "" : "; ");
+    report.note += "aborted";
+    report.total_seconds = mc.clock().seconds_since(t0);
+    report.total_measurements = mc.measurement_count() - m0;
+    return report;
+  };
+
   const os::mapping_region& buffer = env_.space().map_buffer(
       std::min<std::uint64_t>(std::uint64_t{1} << 29,
                               env_.spec().memory_bytes / 4));
@@ -87,6 +120,8 @@ xiao_report xiao_tool::run() {
        .calibration_pairs = 1000},
       r.fork());
   channel.calibrate(core::sample_addresses(buffer, 1024, r));
+  emit("calibration");
+  if (abort_requested()) return finish_aborted();
 
   // --- Template path -------------------------------------------------------
   // Verification is stratified: half the checks are pairs the template
@@ -124,6 +159,8 @@ xiao_report xiao_tool::run() {
                                                            tmpl->decode(b));
       if (channel.is_sbdr(a, b) == predicted) ++agree;
     }
+    emit("template");
+    if (abort_requested()) return finish_aborted();
     if (cast >= config_.verification_pairs / 4 &&
         static_cast<double>(agree) >= config_.verification_agreement *
                                           static_cast<double>(cast)) {
@@ -140,7 +177,9 @@ xiao_report xiao_tool::run() {
 
   // --- Generic stride scan --------------------------------------------------
   const std::vector<unsigned> rows =
-      scan_row_bits(channel, buffer, address_bits, r);
+      scan_row_bits(channel, buffer, address_bits, r, config_.should_abort);
+  emit("row-scan");
+  if (abort_requested()) return finish_aborted();
   if (rows.empty()) {
     report.note = "no row bits found";
     report.stalled = true;
@@ -155,6 +194,7 @@ xiao_report xiao_tool::run() {
   // out column behaviour) stays fast => the bit feeds a bank function.
   std::vector<unsigned> bankish;
   for (unsigned b = 6; b < address_bits; ++b) {
+    if (abort_requested()) break;
     if (row_set.contains(b)) continue;
     const auto pair = core::pick_pair_with_delta(
         buffer, row_ref | (std::uint64_t{1} << b), r);
@@ -162,12 +202,15 @@ xiao_report xiao_tool::run() {
       bankish.push_back(b);
     }
   }
+  emit("bit-scan");
+  if (abort_requested()) return finish_aborted();
 
   // Stride pairs: (i, i+k) is a function when flipping both (with a row
   // flip on top) restores the bank.
   std::vector<std::uint64_t> found;
   for (unsigned k : config_.scan_strides) {
     for (unsigned i : bankish) {
+      if (abort_requested()) break;
       const unsigned j = i + k;
       if (j >= address_bits) continue;
       const std::uint64_t func =
@@ -194,6 +237,8 @@ xiao_report xiao_tool::run() {
     }
   }
   report.resolved_functions = found;
+  emit("stride-scan");
+  if (abort_requested()) return finish_aborted();
 
   const unsigned want = log2_exact(env_.spec().total_banks());
   if (found.size() < want) {
@@ -201,6 +246,7 @@ xiao_report xiao_tool::run() {
     // Charge the stall budget and report the partial resolution.
     mc.clock().advance_ns(static_cast<std::uint64_t>(
         config_.stall_timeout_seconds * 1e9));
+    emit("stall");
     report.stalled = true;
     report.note += (report.note.empty() ? "" : "; ");
     report.note += "stuck after resolving " + std::to_string(found.size()) +
@@ -240,6 +286,7 @@ xiao_report xiao_tool::run() {
     // loop, where it hangs just like the too-few-functions case.
     mc.clock().advance_ns(static_cast<std::uint64_t>(
         config_.stall_timeout_seconds * 1e9));
+    emit("stall");
     report.stalled = true;
     report.note += (report.note.empty() ? "" : "; ");
     report.note += "stride scan produced an inconsistent mapping";

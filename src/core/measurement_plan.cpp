@@ -25,22 +25,111 @@ measurement_plan::measurement_plan(timing::channel& channel, plan_config config)
 
 void measurement_plan::reset() {
   uf_ = union_find{};
+  idx_.clear();
   node_.clear();
   witnesses_.clear();
   strict_memo_.clear();
+  // Node ids restart from zero: a bumped epoch keeps the root cache from
+  // ever serving a pre-reset entry.
+  ++root_epoch_;
 }
 
 std::size_t measurement_plan::node_of(std::uint64_t addr) {
+  if (config_.use_arena_index) {
+    const std::size_t rec = idx_.find_or_create(addr);
+    std::size_t n = idx_.node(rec);
+    if (n == plan_index::npos) {
+      n = uf_.make_set();
+      idx_.set_node(rec, n);
+    }
+    return n;
+  }
   const auto [it, inserted] = node_.try_emplace(addr, 0);
   if (inserted) it->second = uf_.make_set();
   return it->second;
 }
 
+std::size_t measurement_plan::node_if_known(std::uint64_t addr) const {
+  if (config_.use_arena_index) {
+    const std::size_t rec = idx_.find(addr);
+    return rec == plan_index::npos ? npos : idx_.node(rec);
+  }
+  const auto it = node_.find(addr);
+  return it == node_.end() ? npos : it->second;
+}
+
+std::size_t measurement_plan::cached_root(std::size_t node) {
+  if (node >= root_cache_.size()) {
+    root_cache_.resize(node + 1, 0);
+    root_stamp_.resize(node + 1, 0);
+  }
+  if (root_stamp_[node] == root_epoch_) return root_cache_[node];
+  const std::size_t root = uf_.find(node);
+  root_cache_[node] = root;
+  root_stamp_[node] = root_epoch_;
+  return root;
+}
+
+bool measurement_plan::witness_copy(std::uint64_t addr,
+                                    std::vector<std::uint64_t>& out) {
+  out.clear();
+  if (config_.use_arena_index) {
+    const std::size_t rec = idx_.find(addr);
+    if (rec == plan_index::npos) return false;
+    const std::span<const std::uint64_t> ws = idx_.witnesses(rec);
+    if (ws.empty()) return false;  // a node-only record has no list yet
+    out.assign(ws.begin(), ws.end());
+    return true;
+  }
+  const auto it = witnesses_.find(addr);
+  if (it == witnesses_.end()) return false;
+  out.assign(it->second.begin(), it->second.end());
+  return true;
+}
+
+void measurement_plan::witness_touch(std::uint64_t addr, std::uint64_t pivot) {
+  if (config_.use_arena_index) {
+    const std::size_t rec = idx_.find(addr);
+    DRAMDIG_EXPECTS(rec != plan_index::npos);
+    const std::span<const std::uint64_t> ws = idx_.witnesses(rec);
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i] == pivot) {
+        idx_.witness_move_to_back(rec, i);
+        return;
+      }
+    }
+    return;
+  }
+  std::vector<std::uint64_t>& list = witnesses_.find(addr)->second;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i] == pivot) {
+      list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+      list.push_back(pivot);
+      return;
+    }
+  }
+}
+
+int measurement_plan::memo_find(std::uint64_t a, std::uint64_t b) const {
+  const sim::addr_pair key = canonical(a, b);
+  if (config_.use_arena_index) return idx_.memo_find(key.first, key.second);
+  const auto it = strict_memo_.find(key);
+  return it == strict_memo_.end() ? -1 : it->second;
+}
+
+void measurement_plan::memo_store(std::uint64_t a, std::uint64_t b, char val) {
+  const sim::addr_pair key = canonical(a, b);
+  if (config_.use_arena_index) {
+    idx_.memo_store(key.first, key.second, val);
+  } else {
+    strict_memo_[key] = val;
+  }
+}
+
 pair_relation measurement_plan::relation(std::uint64_t a, std::uint64_t b) {
-  const auto ia = node_.find(a);
-  const auto ib = node_.find(b);
-  if (ia != node_.end() && ib != node_.end() &&
-      uf_.find(ia->second) == uf_.find(ib->second)) {
+  const std::size_t na = node_if_known(a);
+  const std::size_t nb = node_if_known(b);
+  if (na != npos && nb != npos && cached_root(na) == cached_root(nb)) {
     return pair_relation::same_bank;
   }
   if (known_cross(a, b) || known_cross(b, a)) return pair_relation::cross_pile;
@@ -49,40 +138,54 @@ pair_relation measurement_plan::relation(std::uint64_t a, std::uint64_t b) {
 
 void measurement_plan::record_same_bank(std::uint64_t a, std::uint64_t b) {
   if (!config_.reuse_verdicts) return;
-  if (uf_.unite(node_of(a), node_of(b)).merged) ++stats_.classes_merged;
+  if (uf_.unite(node_of(a), node_of(b)).merged) {
+    ++stats_.classes_merged;
+    // A merge moves roots; invalidate the batch-level root cache.
+    ++root_epoch_;
+  }
 }
 
 void measurement_plan::record_negative(std::uint64_t pivot,
                                        std::uint64_t partner) {
   if (!config_.reuse_verdicts || !config_.negative_edges) return;
-  // Partner side only: witnesses_[x] stays "the pivots that rejected x",
+  // Partner side only: the witness list stays "the pivots that rejected x",
   // one entry per scan, so every walk is a short linear scan — and the
   // list doubles as the exact-pair memo. No dedupe needed: scans only
   // measure pairs the cache could not answer, so a recorded pair is
   // always new.
-  std::vector<std::uint64_t>& list = witnesses_[partner];
-  if (config_.max_witnesses != 0 && list.size() >= config_.max_witnesses) {
-    // LRU eviction: the front is the entry that least recently answered a
-    // query (hits rotate to the back). Forgetting it only costs a
-    // re-measurement if the pair ever comes up again.
-    list.erase(list.begin());
-    ++stats_.witnesses_evicted;
+  if (config_.use_arena_index) {
+    const std::size_t rec = idx_.find_or_create(partner);
+    if (config_.max_witnesses != 0 &&
+        idx_.witnesses(rec).size() >= config_.max_witnesses) {
+      // LRU eviction: the front is the entry that least recently answered
+      // a query (hits rotate to the back).
+      idx_.witness_pop_front(rec);
+      ++stats_.witnesses_evicted;
+    }
+    idx_.witness_push(rec, pivot);
+  } else {
+    std::vector<std::uint64_t>& list = witnesses_[partner];
+    if (config_.max_witnesses != 0 && list.size() >= config_.max_witnesses) {
+      list.erase(list.begin());
+      ++stats_.witnesses_evicted;
+    }
+    list.push_back(pivot);
   }
-  list.push_back(pivot);
   ++stats_.negatives_recorded;
 }
 
 bool measurement_plan::known_cross(std::uint64_t pivot, std::uint64_t x) {
-  const auto lists = witnesses_.find(x);
-  if (lists == witnesses_.end()) return false;
+  // Work on a copy of x's list: arena spans die on any witness push, and
+  // the derivation below records negatives. The copy is scratch-backed and
+  // identical in content to the legacy in-place walk.
+  std::vector<std::uint64_t>& ws = scratch_.witness_buf;
+  if (!witness_copy(x, ws)) return false;
   // Exact pair measured (or previously derived): reuse that verdict. The
   // hit rotates to the back of the list so LRU eviction drops stale
   // entries first.
-  for (std::size_t i = 0; i < lists->second.size(); ++i) {
-    if (lists->second[i] == pivot) {
-      lists->second.erase(lists->second.begin() +
-                          static_cast<std::ptrdiff_t>(i));
-      lists->second.push_back(pivot);
+  for (const std::uint64_t w : ws) {
+    if (w == pivot) {
+      witness_touch(x, pivot);
       return true;
     }
   }
@@ -90,17 +193,17 @@ bool measurement_plan::known_cross(std::uint64_t pivot, std::uint64_t x) {
   // sit in two different rows of one bank; x cannot share a row with both,
   // so both negatives can only mean a different bank. A fresh pivot
   // (singleton class) cannot have class witnesses — skip the class walk.
-  const auto pivot_node = node_.find(pivot);
-  if (pivot_node == node_.end()) return false;
-  if (uf_.class_size(pivot_node->second) < 2) return false;
-  const std::size_t pivot_root = uf_.find(pivot_node->second);
+  const std::size_t pivot_node = node_if_known(pivot);
+  if (pivot_node == npos) return false;
+  if (uf_.class_size(pivot_node) < 2) return false;
+  const std::size_t pivot_root = cached_root(pivot_node);
   // Fixed-capacity gather: this runs once per unknown partner in every
   // pivot scan, so no per-call heap allocation.
   std::array<std::uint64_t, 12> in_class_buf;
   std::size_t found = 0;
-  for (const std::uint64_t w : lists->second) {
-    const auto wn = node_.find(w);
-    if (wn != node_.end() && uf_.find(wn->second) == pivot_root) {
+  for (const std::uint64_t w : ws) {
+    const std::size_t wn = node_if_known(w);
+    if (wn != npos && cached_root(wn) == pivot_root) {
       in_class_buf[found++] = w;
       if (found == in_class_buf.size()) break;  // bound the pairwise search
     }
@@ -108,9 +211,7 @@ bool measurement_plan::known_cross(std::uint64_t pivot, std::uint64_t x) {
   const std::span<const std::uint64_t> in_class(in_class_buf.data(), found);
   for (std::size_t i = 0; i < in_class.size(); ++i) {
     for (std::size_t j = i + 1; j < in_class.size(); ++j) {
-      const auto hit =
-          strict_memo_.find(canonical(in_class[i], in_class[j]));
-      if (hit != strict_memo_.end() && hit->second) {
+      if (memo_find(in_class[i], in_class[j]) > 0) {
         // Memoize the derived fact as an exact-pair negative so future
         // queries answer from the pair set.
         record_negative(pivot, x);
@@ -121,8 +222,9 @@ bool measurement_plan::known_cross(std::uint64_t pivot, std::uint64_t x) {
   return false;
 }
 
-std::vector<char> measurement_plan::verify_strict(
-    std::span<const sim::addr_pair> pairs, std::span<const double> prior) {
+void measurement_plan::verify_strict(std::span<const sim::addr_pair> pairs,
+                                     std::span<const double> prior,
+                                     std::vector<char>& out) {
   DRAMDIG_EXPECTS(channel_.calibrated());
   DRAMDIG_EXPECTS(prior.empty() || prior.size() == pairs.size());
   const unsigned full = channel_.strict_samples();
@@ -130,7 +232,8 @@ std::vector<char> measurement_plan::verify_strict(
   // scan's reading of the very same pair) when reuse is on. The prior is
   // conditioned positive, so refutation rests on the remaining full-1
   // fresh samples — see plan_config::reuse_scan_sample for the tradeoff.
-  std::vector<unsigned> fresh(pairs.size(), full);
+  std::vector<unsigned>& fresh = scratch_.fresh_counts;
+  fresh.assign(pairs.size(), full);
   if (config_.reuse_scan_sample && !prior.empty()) {
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       if (prior[i] == prior[i]) {  // non-NaN: a sample exists to reuse
@@ -139,15 +242,17 @@ std::vector<char> measurement_plan::verify_strict(
       }
     }
   }
-  std::vector<sim::addr_pair> expanded;
+  std::vector<sim::addr_pair>& expanded = scratch_.expanded;
+  expanded.clear();
   expanded.reserve(pairs.size() * full);
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     for (unsigned k = 0; k < fresh[i]; ++k) expanded.push_back(pairs[i]);
   }
-  const std::vector<double> latencies = channel_.measure_batch(expanded);
+  std::vector<double>& latencies = scratch_.expanded_lat;
+  channel_.measure_batch(expanded, latencies);
   stats_.measurements_issued += expanded.size();
 
-  std::vector<char> out(pairs.size());
+  out.resize(pairs.size());
   std::size_t at = 0;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     double lowest = fresh[i] < full ? prior[i] : 1e300;
@@ -156,7 +261,6 @@ std::vector<char> measurement_plan::verify_strict(
     }
     out[i] = lowest > channel_.threshold_ns() ? 1 : 0;
   }
-  return out;
 }
 
 std::vector<char> measurement_plan::is_sbdr_strict_batch(
@@ -165,22 +269,23 @@ std::vector<char> measurement_plan::is_sbdr_strict_batch(
     stats_.measurements_issued += pairs.size() * channel_.strict_samples();
     return channel_.is_sbdr_strict_batch(pairs);
   }
-  std::vector<sim::addr_pair> fresh;
+  std::vector<sim::addr_pair>& fresh = scratch_.pairs;
+  fresh.clear();
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    const sim::addr_pair key = canonical(pairs[i].first, pairs[i].second);
-    if (strict_memo_.contains(key)) {
+    if (memo_find(pairs[i].first, pairs[i].second) >= 0) {
       stats_.measurements_saved += channel_.strict_samples();
       continue;
     }
     // Memoize a placeholder so duplicates inside this batch dedupe too;
     // the real verdict overwrites it below, before the output pass reads.
-    strict_memo_.emplace(key, 0);
+    memo_store(pairs[i].first, pairs[i].second, 0);
     fresh.push_back(pairs[i]);
   }
-  const std::vector<char> verdicts = verify_strict(fresh, {});
+  std::vector<char>& verdicts = scratch_.strict;
+  verify_strict(fresh, {}, verdicts);
   for (std::size_t j = 0; j < fresh.size(); ++j) {
     const auto& [a, b] = fresh[j];
-    strict_memo_[canonical(a, b)] = verdicts[j];
+    memo_store(a, b, verdicts[j]);
     // A strict positive proves same-bank; a strict negative proves nothing
     // about banks here (vote pairs are often same-bank by construction),
     // so only the memo keeps it.
@@ -190,7 +295,9 @@ std::vector<char> measurement_plan::is_sbdr_strict_batch(
   // lives in the memo.
   std::vector<char> out(pairs.size());
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    out[i] = strict_memo_.at(canonical(pairs[i].first, pairs[i].second));
+    const int v = memo_find(pairs[i].first, pairs[i].second);
+    DRAMDIG_EXPECTS(v >= 0);
+    out[i] = static_cast<char>(v);
   }
   return out;
 }
@@ -210,14 +317,14 @@ measurement_plan::probe_outcome measurement_plan::probe_pairs(
   if (config_.reuse_verdicts) {
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       const auto& [a, b] = pairs[i];
-      const auto hit = strict_memo_.find(canonical(a, b));
-      if (hit != strict_memo_.end()) {
-        out.sbdr[i] = hit->second;
+      const int hit = memo_find(a, b);
+      if (hit >= 0) {
+        out.sbdr[i] = static_cast<char>(hit);
         ++out.reused;
         // What re-measuring in place would cost: a positive takes the
         // full strict pass, a negative one fast sample.
         stats_.measurements_saved +=
-            hit->second != 0 ? channel_.strict_samples() : 1;
+            hit != 0 ? channel_.strict_samples() : 1;
         continue;
       }
       if (known_cross(a, b) || known_cross(b, a)) {
@@ -240,7 +347,8 @@ measurement_plan::probe_outcome measurement_plan::probe_pairs(
   fresh.clear();
   fresh.reserve(unknown_idx.size());
   for (const std::size_t i : unknown_idx) fresh.push_back(pairs[i]);
-  const std::vector<double> fast = channel_.measure_batch(fresh);
+  std::vector<double>& fast = scratch_.fast;
+  channel_.measure_batch(fresh, fast);
   stats_.measurements_issued += fresh.size();
 
   std::vector<sim::addr_pair>& candidates = scratch_.candidates;
@@ -257,18 +365,19 @@ measurement_plan::probe_outcome measurement_plan::probe_pairs(
       prior.push_back(fast[j]);
     } else {
       if (config_.reuse_verdicts) {
-        strict_memo_[canonical(pairs[i].first, pairs[i].second)] = 0;
+        memo_store(pairs[i].first, pairs[i].second, 0);
       }
       record_negative(pairs[i].first, pairs[i].second);
     }
   }
 
   // ---- Stage 2: strict-verify the slow readings, folding the sample. ----
-  const std::vector<char> strict = verify_strict(candidates, prior);
+  std::vector<char>& strict = scratch_.strict;
+  verify_strict(candidates, prior, strict);
   for (std::size_t j = 0; j < strict.size(); ++j) {
     const std::size_t i = candidate_idx[j];
     const auto& [a, b] = pairs[i];
-    if (config_.reuse_verdicts) strict_memo_[canonical(a, b)] = strict[j];
+    if (config_.reuse_verdicts) memo_store(a, b, strict[j]);
     if (strict[j]) {
       out.sbdr[i] = 1;
       record_same_bank(a, b);
@@ -280,15 +389,14 @@ measurement_plan::probe_outcome measurement_plan::probe_pairs(
 }
 
 std::size_t measurement_plan::class_root(std::uint64_t addr) {
-  const auto it = node_.find(addr);
-  if (it == node_.end()) return no_class;
-  return uf_.find(it->second);
+  const std::size_t n = node_if_known(addr);
+  if (n == npos) return no_class;
+  return cached_root(n);
 }
 
 bool measurement_plan::known_strict_positive(std::uint64_t a,
                                              std::uint64_t b) const {
-  const auto it = strict_memo_.find(canonical(a, b));
-  return it != strict_memo_.end() && it->second != 0;
+  return memo_find(a, b) > 0;
 }
 
 measurement_plan::vote_outcome measurement_plan::classify_pairs(
@@ -329,7 +437,8 @@ measurement_plan::vote_outcome measurement_plan::classify_pairs(
   fresh.clear();
   fresh.reserve(unknown_idx.size());
   for (const std::size_t i : unknown_idx) fresh.push_back(pairs[i]);
-  const std::vector<double> fast = channel_.measure_batch(fresh);
+  std::vector<double>& fast = scratch_.fast;
+  channel_.measure_batch(fresh, fast);
   stats_.measurements_issued += fresh.size();
 
   std::vector<sim::addr_pair>& candidates = scratch_.candidates;
@@ -354,14 +463,15 @@ measurement_plan::vote_outcome measurement_plan::classify_pairs(
   }
 
   // ---- Stage 2: strict-verify the positives, folding the vote sample. ---
-  const std::vector<char> strict = verify_strict(candidates, prior);
+  std::vector<char>& strict = scratch_.strict;
+  verify_strict(candidates, prior, strict);
   for (std::size_t j = 0; j < strict.size(); ++j) {
     const std::size_t i = candidate_idx[j];
     const auto& [anchor, subject] = pairs[i];
     if (strict[j]) {
       out.member[i] = 1;
       record_same_bank(anchor, subject);
-      if (config_.reuse_verdicts) strict_memo_[canonical(anchor, subject)] = 1;
+      if (config_.reuse_verdicts) memo_store(anchor, subject, 1);
     } else {
       record_negative(anchor, subject);
     }
@@ -378,14 +488,17 @@ measurement_plan::scan_outcome measurement_plan::classify_partners(
 
   if (!config_.reuse_verdicts) {
     // Transparent pass-through: exactly the pre-scheduler scan sequence.
-    const std::vector<char> fast = channel_.is_sbdr_fast_batch(pivot, partners);
+    std::vector<char>& fast = scratch_.fast_verdict;
+    channel_.is_sbdr_fast_batch(pivot, partners, fast);
     stats_.measurements_issued += partners.size();
     if (!options.verify_positives) {
       out.member.assign(fast.begin(), fast.end());
       return out;
     }
-    std::vector<sim::addr_pair> candidates;
-    std::vector<std::size_t> candidate_idx;
+    std::vector<sim::addr_pair>& candidates = scratch_.candidates;
+    std::vector<std::size_t>& candidate_idx = scratch_.candidate_idx;
+    candidates.clear();
+    candidate_idx.clear();
     for (std::size_t i = 0; i < partners.size(); ++i) {
       if (fast[i]) {
         candidates.emplace_back(pivot, partners[i]);
@@ -393,7 +506,8 @@ measurement_plan::scan_outcome measurement_plan::classify_partners(
       }
     }
     stats_.measurements_issued += candidates.size() * channel_.strict_samples();
-    const std::vector<char> strict = channel_.is_sbdr_strict_batch(candidates);
+    std::vector<char>& strict = scratch_.strict;
+    channel_.is_sbdr_strict_batch(candidates, strict);
     for (std::size_t j = 0; j < strict.size(); ++j) {
       out.member[candidate_idx[j]] = strict[j];
     }
@@ -405,9 +519,9 @@ measurement_plan::scan_outcome measurement_plan::classify_partners(
   // per scan that rejected it), while the pivot's own list covers
   // everything it ever scanned — walking the latter per partner would make
   // this stage quadratic in the pool.
-  const auto pivot_node = node_.find(pivot);
+  const std::size_t pivot_node = node_if_known(pivot);
   const std::size_t pivot_root =
-      pivot_node != node_.end() ? uf_.find(pivot_node->second) : 0;
+      pivot_node != npos ? cached_root(pivot_node) : 0;
 
   // The pivot's own witness list (pivots that rejected it while it was a
   // partner — short by construction) answers two queries per scan:
@@ -417,15 +531,17 @@ measurement_plan::scan_outcome measurement_plan::classify_partners(
   //    (row-distinct) members of a partner's class rejected this pivot
   //    earlier, the pivot provably sits in another bank. Grouped by class
   //    root so each partner costs one lookup.
+  // The list is copied up front: the loop below records negatives, and an
+  // arena witness push invalidates every live span.
   std::unordered_map<std::size_t, std::vector<std::uint64_t>> rejecters;
-  const std::vector<std::uint64_t>* rejected_by = nullptr;
-  const auto pivot_witnesses = witnesses_.find(pivot);
-  if (pivot_witnesses != witnesses_.end()) {
-    rejected_by = &pivot_witnesses->second;
-    for (const std::uint64_t w : pivot_witnesses->second) {
-      const auto wn = node_.find(w);
-      if (wn != node_.end()) {
-        rejecters[uf_.find(wn->second)].push_back(w);
+  const bool have_rejected_by =
+      witness_copy(pivot, scratch_.pivot_witness_buf);
+  const std::vector<std::uint64_t>& rejected_by = scratch_.pivot_witness_buf;
+  if (have_rejected_by) {
+    for (const std::uint64_t w : rejected_by) {
+      const std::size_t wn = node_if_known(w);
+      if (wn != npos) {
+        rejecters[cached_root(wn)].push_back(w);
       }
     }
   }
@@ -437,8 +553,7 @@ measurement_plan::scan_outcome measurement_plan::classify_partners(
     const std::size_t bound = std::min<std::size_t>(ws.size(), 12);
     for (std::size_t i = 0; i < bound; ++i) {
       for (std::size_t j = i + 1; j < bound; ++j) {
-        const auto link = strict_memo_.find(canonical(ws[i], ws[j]));
-        if (link != strict_memo_.end() && link->second) {
+        if (memo_find(ws[i], ws[j]) > 0) {
           // Memoize the derived fact as an exact-pair negative.
           record_negative(pivot, partner);
           return true;
@@ -453,10 +568,10 @@ measurement_plan::scan_outcome measurement_plan::classify_partners(
   unknown_idx.reserve(partners.size());
   std::size_t members = 0;
   for (std::size_t i = 0; i < partners.size(); ++i) {
-    const auto partner_node = node_.find(partners[i]);
+    const std::size_t partner_node = node_if_known(partners[i]);
     const std::size_t partner_root =
-        partner_node != node_.end() ? uf_.find(partner_node->second) : 0;
-    if (pivot_node != node_.end() && partner_node != node_.end() &&
+        partner_node != npos ? cached_root(partner_node) : 0;
+    if (pivot_node != npos && partner_node != npos &&
         partner_root == pivot_root) {
       out.member[i] = 1;
       ++members;
@@ -464,10 +579,10 @@ measurement_plan::scan_outcome measurement_plan::classify_partners(
       // What re-measuring this member in place would cost.
       stats_.measurements_saved += saved_scan_credit(options.verify_positives);
     } else if (known_cross(pivot, partners[i]) ||
-               (rejected_by != nullptr &&
-                std::find(rejected_by->begin(), rejected_by->end(),
-                          partners[i]) != rejected_by->end()) ||
-               (partner_node != node_.end() &&
+               (have_rejected_by &&
+                std::find(rejected_by.begin(), rejected_by.end(),
+                          partners[i]) != rejected_by.end()) ||
+               (partner_node != npos &&
                 reverse_cross(partner_root, partners[i]))) {
       ++out.reused;
       ++stats_.measurements_saved;
@@ -486,7 +601,8 @@ measurement_plan::scan_outcome measurement_plan::classify_partners(
     pairs.clear();
     pairs.reserve(subset.size());
     for (const std::size_t i : subset) pairs.emplace_back(pivot, partners[i]);
-    const std::vector<double> fast = channel_.measure_batch(pairs);
+    std::vector<double>& fast = scratch_.fast;
+    channel_.measure_batch(pairs, fast);
     stats_.measurements_issued += subset.size();
     std::vector<sim::addr_pair>& candidates = scratch_.candidates;
     std::vector<std::size_t>& candidate_idx = scratch_.candidate_idx;
@@ -510,7 +626,8 @@ measurement_plan::scan_outcome measurement_plan::classify_partners(
       }
       return candidates.size();
     }
-    const std::vector<char> strict = verify_strict(candidates, prior);
+    std::vector<char>& strict = scratch_.strict;
+    verify_strict(candidates, prior, strict);
     std::size_t verified = 0;
     for (std::size_t j = 0; j < strict.size(); ++j) {
       const std::size_t i = candidate_idx[j];
@@ -519,7 +636,7 @@ measurement_plan::scan_outcome measurement_plan::classify_partners(
         ++members;
         ++verified;
         record_same_bank(pivot, partners[i]);
-        strict_memo_[canonical(pivot, partners[i])] = 1;
+        memo_store(pivot, partners[i], 1);
       } else {
         // The fast positive was contamination; the min filter refuted it.
         record_negative(pivot, partners[i]);

@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/plan_index.h"
 #include "timing/channel.h"
 #include "util/union_find.h"
 
@@ -70,6 +71,14 @@ struct plan_config {
   /// 0 = unbounded (the pre-cap behavior). The default comfortably holds
   /// one rejecting pivot per bank on every paper machine.
   std::size_t max_witnesses = 96;
+  /// Storage backend: true (default) keeps the node/witness/strict-memo
+  /// tables in the arena-backed open-addressing index (core/plan_index.h —
+  /// one hash lookup per address, no per-address heap vectors); false
+  /// restores the std::unordered_map implementation. Both are bit-identical
+  /// in every observable (verdicts, eviction order, stats counters) — the
+  /// map backend survives as the differential oracle, same shape as the
+  /// other oracle flags.
+  bool use_arena_index = true;
 };
 
 struct plan_stats {
@@ -220,6 +229,35 @@ class measurement_plan {
  private:
   /// Union-find node for an address, created on first sight.
   std::size_t node_of(std::uint64_t addr);
+  /// Union-find node for an address, or npos when never assigned one.
+  /// (Addresses seen only as negative-witness holders have no node.)
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t node_if_known(std::uint64_t addr) const;
+
+  /// Union-find root with batch-level caching: within one epoch (no merges
+  /// since) each node resolves its root at most once, so the stage-0 loops
+  /// of classify_pairs/probe_pairs/classify_partners pay one find per
+  /// unique address per call instead of one per pair. Node ids are
+  /// identical across backends (only node_of assigns them, in first-sight
+  /// order), so the cache is backend-agnostic; any merge bumps the epoch.
+  [[nodiscard]] std::size_t cached_root(std::size_t node);
+
+  // Backend-branching accessors: every node/witness/memo touch funnels
+  // through these so the arena and map implementations stay observably
+  // identical (LRU order, eviction, stats — all decided here, not in the
+  // storage).
+  /// Copy addr's witness list (oldest first) into `out`. Returns true when
+  /// the address has a list. The copy is deliberate: arena spans die on
+  /// any witness push, and callers loop over one list while recording
+  /// negatives on others.
+  bool witness_copy(std::uint64_t addr, std::vector<std::uint64_t>& out);
+  /// Rotate addr's witness entry equal to `pivot` to the back (LRU hit).
+  /// Pre: the entry exists.
+  void witness_touch(std::uint64_t addr, std::uint64_t pivot);
+  /// Memoized strict verdict for the canonical pair, or -1 when absent.
+  [[nodiscard]] int memo_find(std::uint64_t a, std::uint64_t b) const;
+  /// Insert or overwrite the canonical pair's strict verdict.
+  void memo_store(std::uint64_t a, std::uint64_t b, char val);
 
   /// Record a strict positive: merge classes.
   void record_same_bank(std::uint64_t a, std::uint64_t b);
@@ -232,15 +270,24 @@ class measurement_plan {
   [[nodiscard]] bool known_cross(std::uint64_t pivot, std::uint64_t x);
 
   /// Strict-verify `pairs` with `prior` single-sample latencies folded into
-  /// the min filter (NaN prior = no sample to reuse). Returns verdicts.
-  [[nodiscard]] std::vector<char> verify_strict(
-      std::span<const sim::addr_pair> pairs, std::span<const double> prior);
+  /// the min filter (NaN prior = no sample to reuse). Verdicts land in
+  /// `out` (scratch-backed at every call site — no per-call allocation).
+  void verify_strict(std::span<const sim::addr_pair> pairs,
+                     std::span<const double> prior, std::vector<char>& out);
 
   timing::channel& channel_;
   plan_config config_;
   plan_stats stats_;
 
   union_find uf_;
+
+  /// Arena-backed storage (plan_config::use_arena_index, the default):
+  /// node ids, witness lists and the strict memo in flat open-addressing
+  /// tables — one hash lookup per address per batch.
+  plan_index idx_;
+
+  // Legacy map backend (use_arena_index = false), kept as the differential
+  // oracle the arena is pinned bit-identical against.
   std::unordered_map<std::uint64_t, std::size_t> node_;
   /// Pivots that measured the key not-SBDR, in LRU order (back = most
   /// recently recorded or consulted) — one entry per scan or vote that
@@ -261,6 +308,13 @@ class measurement_plan {
   /// Exact-pair memo of strict verdicts (canonical min/max key).
   std::unordered_map<sim::addr_pair, char, pair_key_hash> strict_memo_;
 
+  /// Batch-level root cache: root_stamp_[node] == root_epoch_ means
+  /// root_cache_[node] holds the node's current root. Epoch bumps on every
+  /// merge and on reset(), so a stale entry can never be read.
+  std::vector<std::size_t> root_cache_;
+  std::vector<std::uint64_t> root_stamp_;
+  std::uint64_t root_epoch_ = 1;
+
   /// Scan scratch reused across classify_partners calls: one reservation
   /// per pool size keeps the O(pool * banks) scans allocation-free in
   /// steady state.
@@ -273,6 +327,14 @@ class measurement_plan {
     std::vector<std::size_t> candidate_idx;
     std::vector<sim::addr_pair> candidates;
     std::vector<double> prior;
+    std::vector<double> fast;          ///< single-sample latency results
+    std::vector<char> fast_verdict;    ///< pass-through fast-scan verdicts
+    std::vector<char> strict;          ///< strict-verify verdicts
+    std::vector<double> expanded_lat;  ///< verify_strict batch latencies
+    std::vector<sim::addr_pair> expanded;
+    std::vector<unsigned> fresh_counts;
+    std::vector<std::uint64_t> witness_buf;        ///< known_cross list copy
+    std::vector<std::uint64_t> pivot_witness_buf;  ///< classify_partners copy
   } scratch_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/bitops.h"
 #include "util/expect.h"
 #include "util/parallel.h"
 
@@ -20,7 +21,8 @@ memory_controller::memory_controller(const dram::address_mapping& truth,
                                      timing_model timing, virtual_clock& clock,
                                      rng noise_rng)
     : truth_(truth), timing_(timing), clock_(clock), rng_(noise_rng),
-      open_rows_(truth.bank_count()), burst_rng_(rng_.fork()) {
+      open_rows_(truth.bank_count()), row_mask_(mask_of_bits(truth.row_bits())),
+      burst_rng_(rng_.fork()) {
   DRAMDIG_EXPECTS(truth_.is_bijective());
   // Schedule the first background-load burst.
   burst_start_ns_ = static_cast<std::uint64_t>(
@@ -61,7 +63,11 @@ double memory_controller::effective_contamination() const {
 double memory_controller::access(std::uint64_t phys) {
   DRAMDIG_EXPECTS(phys < truth_.memory_bytes());
   const std::uint64_t bank = truth_.bank_of(phys);
-  const std::uint64_t row = truth_.row_of(phys);
+  // Rows are only ever compared for equality inside the controller, so the
+  // row-bit-masked address stands in for the dense row index (the mask is
+  // injective on row bits). Must stay consistent with decode_pair /
+  // decode_pairs — all three feed the same open-row table.
+  const std::uint64_t row = phys & row_mask_;
 
   double base;
   open_row& slot = open_rows_[bank];
@@ -92,9 +98,9 @@ memory_controller::decoded_pair memory_controller::decode_pair(
   DRAMDIG_EXPECTS(p1 < truth_.memory_bytes() && p2 < truth_.memory_bytes());
   decoded_pair d;
   d.bank1 = truth_.bank_of(p1);
-  d.row1 = truth_.row_of(p1);
+  d.row1 = p1 & row_mask_;
   d.bank2 = truth_.bank_of(p2);
-  d.row2 = truth_.row_of(p2);
+  d.row2 = p2 & row_mask_;
   // Different banks each keep their row open (all hits), as does a shared
   // row buffer; same bank + different row pays a conflict every access.
   if (d.bank1 != d.bank2 || d.row1 == d.row2) {
@@ -202,41 +208,95 @@ pair_measurement memory_controller::measure_pair(std::uint64_t p1,
   return finish_measurement(decode_pair(p1, p2), rounds);
 }
 
-std::vector<pair_measurement> memory_controller::measure_pairs(
-    std::span<const addr_pair> pairs, unsigned rounds) {
-  DRAMDIG_EXPECTS(rounds > 0);
+const memory_controller::decoded_soa& memory_controller::decode_pairs(
+    std::span<const addr_pair> pairs) {
+  const std::size_t n = 2 * pairs.size();
+  decoded_soa& d = soa_;
+  d.addr.resize(n);
+  d.bank.resize(n);
+  d.row.resize(n);
   // Whole-batch validation up front: a bad address anywhere rejects the
-  // batch before any noise is drawn, matching the staged path where all
-  // decodes precede all measurements.
-  for (const auto& [p1, p2] : pairs) {
-    DRAMDIG_EXPECTS(p1 < truth_.memory_bytes() && p2 < truth_.memory_bytes());
+  // batch before any noise is drawn. The AoS->SoA split rides along.
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    DRAMDIG_EXPECTS(pairs[i].first < truth_.memory_bytes() &&
+                    pairs[i].second < truth_.memory_bytes());
+    d.addr[2 * i] = pairs[i].first;
+    d.addr[2 * i + 1] = pairs[i].second;
   }
-  std::vector<pair_measurement> results(pairs.size());
+  const auto& functions = truth_.bank_functions();
   const unsigned shards =
       pairs.size() >= kParallelDecodeThreshold ? default_shard_count() : 1;
-  if (shards == 1) {
-    // Single shard: fuse decode and finish per pair — no intermediate
-    // array, so the one-thread batch costs exactly the scalar loop.
-    for (std::size_t i = 0; i < pairs.size(); ++i) {
-      results[i] =
-          finish_measurement(decode_pair(pairs[i].first, pairs[i].second),
-                             rounds);
-    }
-    return results;
-  }
-  // Multi-shard: the pure decodes fan out across workers, then the
-  // stochastic tail replays sequentially in submission order. Decode is a
-  // pure function of the address, so fused and staged paths agree bit for
-  // bit.
-  std::vector<decoded_pair> decoded(pairs.size());
-  parallel_for_shards(pairs.size(), shards, [&](const shard& s) {
+  parallel_for_shards(n, shards, [&](const shard& s) {
+    decode_banks(d.addr.data() + s.begin, s.end - s.begin, functions.data(),
+                 functions.size(), d.bank.data() + s.begin);
     for (std::size_t i = s.begin; i < s.end; ++i) {
-      decoded[i] = decode_pair(pairs[i].first, pairs[i].second);
+      d.row[i] = d.addr[i] & row_mask_;
     }
   });
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    results[i] = finish_measurement(decoded[i], rounds);
+  return d;
+}
+
+void memory_controller::measure_pairs(std::span<const addr_pair> pairs,
+                                      unsigned rounds,
+                                      std::vector<pair_measurement>& out) {
+  DRAMDIG_EXPECTS(rounds > 0);
+  // Decode is a pure function of the address, so the staged SoA path below
+  // agrees bit for bit with a fused per-pair decode+finish loop; the
+  // stochastic tail replays sequentially in submission order.
+  const decoded_soa& d = decode_pairs(pairs);
+  out.resize(pairs.size());
+  if (!timing_.closed_form_accounting) {
+    // The access-loop oracle is the slow differential path; per-pair
+    // dispatch cost is noise next to its 2*rounds iterations.
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const decoded_pair dp{d.bank[2 * i], d.row[2 * i], d.bank[2 * i + 1],
+                            d.row[2 * i + 1], 0.0};
+      out[i] = finish_measurement(dp, rounds);
+    }
+    return;
   }
+  // Fused batch tail: the same arithmetic and rng draw order as
+  // finish_measurement, with every batch-invariant term (noise sigma of
+  // the sample mean, the three per-access clock charges) hoisted out of
+  // the per-pair loop.
+  const double accesses = 2.0 * static_cast<double>(rounds);
+  const double sigma_mean = timing_.access_noise_sigma_ns / std::sqrt(accesses);
+  const auto charge = [this](double base) {
+    return static_cast<std::uint64_t>(base + timing_.clflush_ns +
+                                      timing_.loop_overhead_ns);
+  };
+  const std::uint64_t hit_charge = charge(timing_.row_hit_ns);
+  const std::uint64_t closed_charge = charge(timing_.row_closed_ns);
+  const std::uint64_t conflict_charge = charge(timing_.row_conflict_ns);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const decoded_pair dp{d.bank[2 * i], d.row[2 * i], d.bank[2 * i + 1],
+                          d.row[2 * i + 1], 0.0};
+    const access_tally t = tally_closed_form(dp, rounds);
+    const double mean_base =
+        (static_cast<double>(t.hits) * timing_.row_hit_ns +
+         static_cast<double>(t.closed) * timing_.row_closed_ns +
+         static_cast<double>(t.conflicts) * timing_.row_conflict_ns) /
+        accesses;
+    double observed = mean_base + rng_.gaussian(0.0, sigma_mean);
+    bool contaminated = false;
+    if (rng_.chance(effective_contamination())) {
+      observed += rng_.uniform() * timing_.contamination_max_ns;
+      contaminated = true;
+    }
+    clock_.advance_ns(t.hits * hit_charge + t.closed * closed_charge +
+                      t.conflicts * conflict_charge);
+    access_count_ += 2ull * rounds;
+    ++measurement_count_;
+    open_rows_[dp.bank1] = {dp.row1, true};
+    open_rows_[dp.bank2] = {dp.row2, true};
+    out[i] = {std::max(1.0, observed), contaminated};
+  }
+}
+
+std::vector<pair_measurement> memory_controller::measure_pairs(
+    std::span<const addr_pair> pairs, unsigned rounds) {
+  std::vector<pair_measurement> results;
+  measure_pairs(pairs, rounds, results);
   return results;
 }
 

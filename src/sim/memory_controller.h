@@ -44,13 +44,35 @@ class memory_controller {
                                               std::uint64_t p2,
                                               unsigned rounds);
 
+  /// Structure-of-arrays decode of a pair batch: element 2i describes
+  /// pairs[i].first, element 2i+1 pairs[i].second. The buffers belong to
+  /// the controller and are reused across calls (no per-batch allocation
+  /// once warm); the returned reference is valid until the next
+  /// decode_pairs / measure_pairs call. Row values are the row-bit-masked
+  /// address, not the dense row index — rows are only ever compared for
+  /// equality, and the masked form skips the per-bit gather.
+  struct decoded_soa {
+    std::vector<std::uint64_t> addr;
+    std::vector<std::uint64_t> bank;
+    std::vector<std::uint64_t> row;
+  };
+
+  /// Decode a whole batch into the SoA scratch: validates every address up
+  /// front, then runs the branch-lean bank/row extraction (decode_banks)
+  /// over the flat address array, sharded across the worker pool for large
+  /// batches. Pure — no noise, clock or row-buffer effects.
+  const decoded_soa& decode_pairs(std::span<const addr_pair> pairs);
+
   /// Service a whole batch of pair measurements in one pass. The address
-  /// decodes (bank/row extraction — the host-side hot cost) are sharded
-  /// across worker threads; the stochastic part (noise draws, burst
-  /// schedule, clock charging, row-buffer updates) then replays
-  /// sequentially in submission order, so the returned vector is
-  /// bit-identical to calling measure_pair once per element — on any
-  /// thread count.
+  /// decodes (bank/row extraction — the host-side hot cost) run through
+  /// the SoA path above, sharded across the persistent worker pool; the
+  /// stochastic part (noise draws, burst schedule, clock charging,
+  /// row-buffer updates) then replays sequentially in submission order, so
+  /// `out` is bit-identical to calling measure_pair once per element — on
+  /// any thread count. The out-param form lets hot callers reuse one
+  /// result buffer across thousands of batches.
+  void measure_pairs(std::span<const addr_pair> pairs, unsigned rounds,
+                     std::vector<pair_measurement>& out);
   [[nodiscard]] std::vector<pair_measurement> measure_pairs(
       std::span<const addr_pair> pairs, unsigned rounds);
 
@@ -137,6 +159,8 @@ class memory_controller {
   virtual_clock& clock_;
   rng rng_;
   std::vector<open_row> open_rows_;  ///< flat table indexed by flat bank id
+  std::uint64_t row_mask_ = 0;       ///< OR of the mapping's row bits
+  decoded_soa soa_;                  ///< batch decode scratch, reused
   std::uint64_t access_count_ = 0;
   std::uint64_t measurement_count_ = 0;
 

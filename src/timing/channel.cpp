@@ -126,49 +126,68 @@ bool channel::is_sbdr_strict(std::uint64_t p1, std::uint64_t p2) {
   return is_sbdr_strict_batch({&pair, 1}).front() != 0;
 }
 
+void channel::measure_batch(std::span<const sim::addr_pair> pairs,
+                            std::vector<double>& out) {
+  controller_.measure_pairs(pairs, config_.rounds_per_measurement,
+                            measurement_scratch_);
+  out.resize(measurement_scratch_.size());
+  for (std::size_t i = 0; i < measurement_scratch_.size(); ++i) {
+    out[i] = measurement_scratch_[i].mean_access_ns;
+  }
+}
+
 std::vector<double> channel::measure_batch(
     std::span<const sim::addr_pair> pairs) {
-  const auto measurements =
-      controller_.measure_pairs(pairs, config_.rounds_per_measurement);
-  std::vector<double> out(measurements.size());
-  for (std::size_t i = 0; i < measurements.size(); ++i) {
-    out[i] = measurements[i].mean_access_ns;
-  }
+  std::vector<double> out;
+  measure_batch(pairs, out);
   return out;
+}
+
+void channel::is_sbdr_fast_batch(std::uint64_t pivot,
+                                 std::span<const std::uint64_t> partners,
+                                 std::vector<char>& out) {
+  DRAMDIG_EXPECTS(calibrated());
+  pair_scratch_.clear();
+  pair_scratch_.reserve(partners.size());
+  for (std::uint64_t p : partners) pair_scratch_.emplace_back(pivot, p);
+  measure_batch(pair_scratch_, latency_scratch_);
+  out.resize(latency_scratch_.size());
+  for (std::size_t i = 0; i < latency_scratch_.size(); ++i) {
+    out[i] = latency_scratch_[i] > threshold_ns_ ? 1 : 0;
+  }
 }
 
 std::vector<char> channel::is_sbdr_fast_batch(
     std::uint64_t pivot, std::span<const std::uint64_t> partners) {
-  DRAMDIG_EXPECTS(calibrated());
-  std::vector<sim::addr_pair> pairs;
-  pairs.reserve(partners.size());
-  for (std::uint64_t p : partners) pairs.emplace_back(pivot, p);
-  const auto latencies = measure_batch(pairs);
-  std::vector<char> out(latencies.size());
-  for (std::size_t i = 0; i < latencies.size(); ++i) {
-    out[i] = latencies[i] > threshold_ns_ ? 1 : 0;
-  }
+  std::vector<char> out;
+  is_sbdr_fast_batch(pivot, partners, out);
   return out;
+}
+
+void channel::is_sbdr_strict_batch(std::span<const sim::addr_pair> pairs,
+                                   std::vector<char>& out) {
+  DRAMDIG_EXPECTS(calibrated());
+  const unsigned per_pair = strict_samples();
+  pair_scratch_.clear();
+  pair_scratch_.reserve(pairs.size() * per_pair);
+  for (const sim::addr_pair& p : pairs) {
+    for (unsigned i = 0; i < per_pair; ++i) pair_scratch_.push_back(p);
+  }
+  measure_batch(pair_scratch_, latency_scratch_);
+  out.resize(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    double lowest = 1e300;
+    for (unsigned k = 0; k < per_pair; ++k) {
+      lowest = std::min(lowest, latency_scratch_[i * per_pair + k]);
+    }
+    out[i] = lowest > threshold_ns_ ? 1 : 0;
+  }
 }
 
 std::vector<char> channel::is_sbdr_strict_batch(
     std::span<const sim::addr_pair> pairs) {
-  DRAMDIG_EXPECTS(calibrated());
-  const unsigned per_pair = strict_samples();
-  std::vector<sim::addr_pair> expanded;
-  expanded.reserve(pairs.size() * per_pair);
-  for (const sim::addr_pair& p : pairs) {
-    for (unsigned i = 0; i < per_pair; ++i) expanded.push_back(p);
-  }
-  const auto latencies = measure_batch(expanded);
-  std::vector<char> out(pairs.size());
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    double lowest = 1e300;
-    for (unsigned k = 0; k < per_pair; ++k) {
-      lowest = std::min(lowest, latencies[i * per_pair + k]);
-    }
-    out[i] = lowest > threshold_ns_ ? 1 : 0;
-  }
+  std::vector<char> out;
+  is_sbdr_strict_batch(pairs, out);
   return out;
 }
 

@@ -75,7 +75,12 @@ class channel {
   /// Single-sample mean latencies for a whole batch of pairs, serviced by
   /// the controller in one pass. Element i equals what a scalar
   /// measure_pair on pairs[i] would have returned at that point in the
-  /// measurement sequence.
+  /// measurement sequence. The out-param form reuses the caller's buffer
+  /// (and the channel's internal scratch) so the partition/probe hot loops
+  /// allocate nothing per call; the returning form is a convenience
+  /// wrapper.
+  void measure_batch(std::span<const sim::addr_pair> pairs,
+                     std::vector<double>& out);
   [[nodiscard]] std::vector<double> measure_batch(
       std::span<const sim::addr_pair> pairs);
 
@@ -83,12 +88,17 @@ class channel {
   /// measured against the shared pivot. Identical results (and identical
   /// simulated-noise consumption) to calling is_sbdr_fast(pivot, partner)
   /// in partner order — this is the partition fast-scan workhorse.
+  void is_sbdr_fast_batch(std::uint64_t pivot,
+                          std::span<const std::uint64_t> partners,
+                          std::vector<char>& out);
   [[nodiscard]] std::vector<char> is_sbdr_fast_batch(
       std::uint64_t pivot, std::span<const std::uint64_t> partners);
 
   /// Batched strict predicate: each pair gets `samples_per_latency + 2`
   /// measurements in one controller pass; the min-filter verdict per pair
   /// matches a scalar is_sbdr_strict call sequence.
+  void is_sbdr_strict_batch(std::span<const sim::addr_pair> pairs,
+                            std::vector<char>& out);
   [[nodiscard]] std::vector<char> is_sbdr_strict_batch(
       std::span<const sim::addr_pair> pairs);
 
@@ -135,6 +145,12 @@ class channel {
   double threshold_ns_ = 0.0;
   std::uint64_t calibration_pairs_used_ = 0;
   std::vector<double> calibration_samples_;
+  // Batch scratch, reused across calls so the hot loops allocate nothing
+  // once warm. pair_scratch_ holds the expanded pair list the fast/strict
+  // wrappers build; the others hold intermediate measurement results.
+  std::vector<sim::pair_measurement> measurement_scratch_;
+  std::vector<sim::addr_pair> pair_scratch_;
+  std::vector<double> latency_scratch_;
 };
 
 }  // namespace dramdig::timing

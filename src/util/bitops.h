@@ -4,6 +4,7 @@
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -76,6 +77,24 @@ namespace dramdig {
     out |= static_cast<std::uint64_t>((dense >> i) & 1u) << bits[i];
   }
   return out;
+}
+
+/// Decode the flat bank index of `n` addresses at once: out[i] gets bit f
+/// equal to parity(addrs[i], functions[f]). Written function-major over the
+/// contiguous address array so the inner loop is a branch-free
+/// mask/popcount/shift chain the compiler can vectorize — this is the
+/// simulator's decode hot loop (see sim::memory_controller::decode_pairs).
+inline void decode_banks(const std::uint64_t* addrs, std::size_t n,
+                         const std::uint64_t* functions,
+                         std::size_t function_count, std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+  for (std::size_t f = 0; f < function_count; ++f) {
+    const std::uint64_t mask = functions[f];
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] |= static_cast<std::uint64_t>(std::popcount(addrs[i] & mask) & 1)
+                << f;
+    }
+  }
 }
 
 /// Number of contiguous low bits needed to address `size` bytes; requires a

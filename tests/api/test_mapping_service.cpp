@@ -223,6 +223,51 @@ TEST(MappingService, DramDigStreamsDesignedProbeRounds) {
   EXPECT_GT(outcomes[0].result.probe_rounds.votes_saved, 0u);
 }
 
+TEST(MappingService, XiaoStreamsPerStageEvents) {
+  // Xiao used to emit one terminal "scan" event after the fact; a driver
+  // watching a job now sees each stage land as it completes, and the
+  // stage deltas sum to the exact metered totals.
+  std::vector<job_spec> jobs{{dram::machine_by_number(4), "xiao", {}, 7}};
+  recording_observer observer;
+  const auto outcomes = mapping_service({.threads = 1}).run(jobs, &observer);
+  ASSERT_EQ(outcomes[0].state, job_state::completed);
+  for (const char* phase : {"phase:0:calibration", "phase:0:template"}) {
+    EXPECT_NE(std::find(observer.events.begin(), observer.events.end(), phase),
+              observer.events.end())
+        << phase;
+  }
+  EXPECT_EQ(observer.measurements, outcomes[0].result.measurement_count);
+}
+
+TEST(MappingService, CancellationAbortsRunningXiaoAtScanBoundary) {
+  // Machine No.6 stalls the stride scan and charges a 30-minute budget.
+  // The observer flips the token as the row scan lands; the bound abort
+  // predicate stops the running job at the next stage boundary.
+  class stage_cancelling_observer final : public progress_observer {
+   public:
+    explicit stage_cancelling_observer(cancellation_token* cancel)
+        : cancel_(cancel) {}
+    void on_job_phase(std::size_t, std::string_view phase,
+                      const core::phase_stats&) override {
+      if (phase == "row-scan") cancel_->cancel();
+    }
+
+   private:
+    cancellation_token* cancel_;
+  };
+
+  std::vector<job_spec> jobs{{dram::machine_by_number(6), "xiao", {}, 7}};
+  cancellation_token cancel;
+  stage_cancelling_observer observer(&cancel);
+  const auto outcomes =
+      mapping_service({.threads = 1}).run(jobs, &observer, &cancel);
+  ASSERT_EQ(outcomes[0].state, job_state::completed);
+  EXPECT_EQ(outcomes[0].result.outcome, "aborted");
+  EXPECT_FALSE(outcomes[0].result.success);
+  // Far below the stall budget an uncancelled run would charge.
+  EXPECT_LT(outcomes[0].result.virtual_seconds, 900.0);
+}
+
 TEST(MappingService, CancellationAbortsRunningDramaAtTrialBoundary) {
   // Machine No.3 never reaches agreement, so an uncancelled run burns all
   // its trials. The observer flips the token after the second trial event;

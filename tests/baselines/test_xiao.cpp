@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "core/environment.h"
 #include "dram/presets.h"
 
@@ -85,6 +88,78 @@ TEST(Xiao, TemplateVerificationRejectsWrongMachine) {
     EXPECT_TRUE(report.stalled);
   }
   EXPECT_NE(report.note.find("template"), std::string::npos);
+}
+
+TEST(Xiao, StreamsPerStagePhaseEventsSummingToTotals) {
+  // The template path on machine No.4 emits one event per completed stage
+  // (DRAMA-style), and the stage deltas sum exactly to the run's totals.
+  core::environment env(dram::machine_by_number(4), 13);
+  std::vector<std::string> stages;
+  double seconds = 0.0;
+  std::uint64_t measurements = 0;
+  xiao_config cfg{};
+  cfg.on_phase = [&](std::string_view stage, const core::phase_stats& delta) {
+    stages.emplace_back(stage);
+    seconds += delta.seconds;
+    measurements += delta.measurements;
+  };
+  const auto report = xiao_tool(env, cfg).run();
+  ASSERT_TRUE(report.success);
+  ASSERT_EQ(stages, (std::vector<std::string>{"calibration", "template"}));
+  EXPECT_EQ(measurements, report.total_measurements);
+  EXPECT_NEAR(seconds, report.total_seconds, 1e-9);
+}
+
+TEST(Xiao, OffTemplateScanStagesSumToTotalsIncludingStall) {
+  // Machine No.6 takes the full fallback path: row scan, bit scan, stride
+  // scan, then the charged stall budget — every stage streams its delta
+  // and the sum still matches the report exactly.
+  core::environment env(dram::machine_by_number(6), 13);
+  std::vector<std::string> stages;
+  double seconds = 0.0;
+  std::uint64_t measurements = 0;
+  xiao_config cfg{};
+  cfg.on_phase = [&](std::string_view stage, const core::phase_stats& delta) {
+    stages.emplace_back(stage);
+    seconds += delta.seconds;
+    measurements += delta.measurements;
+  };
+  const auto report = xiao_tool(env, cfg).run();
+  ASSERT_TRUE(report.stalled);
+  ASSERT_EQ(stages,
+            (std::vector<std::string>{"calibration", "row-scan", "bit-scan",
+                                      "stride-scan", "stall"}));
+  EXPECT_EQ(measurements, report.total_measurements);
+  EXPECT_NEAR(seconds, report.total_seconds, 1e-9);
+}
+
+TEST(Xiao, AbortStopsStalledScanWellBeforeStallBudget) {
+  // The point of the abort hook: a driver watching machine No.6 crawl can
+  // kill it after the row scan instead of paying the 30-minute stall.
+  core::environment env(dram::machine_by_number(6), 13);
+  bool row_scan_done = false;
+  xiao_config cfg{};
+  cfg.on_phase = [&](std::string_view stage, const core::phase_stats&) {
+    if (stage == "row-scan") row_scan_done = true;
+  };
+  cfg.should_abort = [&] { return row_scan_done; };
+  const auto report = xiao_tool(env, cfg).run();
+  EXPECT_TRUE(report.aborted);
+  EXPECT_FALSE(report.success);
+  EXPECT_FALSE(report.stalled);
+  EXPECT_NE(report.note.find("aborted"), std::string::npos);
+  // Far under the 1800 s stall budget an unaborted run charges.
+  EXPECT_LT(report.total_seconds, 900.0);
+}
+
+TEST(Xiao, AbortBeforeAnyWorkReportsAborted) {
+  core::environment env(dram::machine_by_number(4), 13);
+  xiao_config cfg{};
+  cfg.should_abort = [] { return true; };
+  const auto report = xiao_tool(env, cfg).run();
+  EXPECT_TRUE(report.aborted);
+  EXPECT_FALSE(report.success);
+  EXPECT_FALSE(report.mapping.has_value());
 }
 
 TEST(Xiao, DeterministicOnSupportedMachines) {

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
+#include <thread>
 
 #include "util/rng.h"
 
@@ -89,6 +91,86 @@ TEST(ParallelShards, DefaultShardCountSane) {
   const unsigned n = default_shard_count();
   EXPECT_GE(n, 1u);
   EXPECT_LE(n, 16u);
+}
+
+TEST(WorkerPool, ReusedAcrossManyBatches) {
+  // The whole point of the pool: thousands of small batches on the same
+  // threads. Every index of every batch must run exactly once.
+  worker_pool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  for (int round = 0; round < 2000; ++round) {
+    std::atomic<int> hits{0};
+    pool.run(8, [&](std::size_t) { hits.fetch_add(1); });
+    ASSERT_EQ(hits.load(), 8);
+  }
+}
+
+TEST(WorkerPool, NestedSubmissionDoesNotDeadlock) {
+  // A pool worker that submits its own batch (mapping_service job fanning
+  // out into measure_pairs) must not block on work only it could run: the
+  // submitter always participates in its own batch.
+  worker_pool pool(4);
+  std::atomic<int> inner_hits{0};
+  pool.run(4, [&](std::size_t) {
+    pool.run(4, [&](std::size_t) { inner_hits.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_hits.load(), 16);
+}
+
+TEST(WorkerPool, ExceptionPropagatesAndPoolStaysUsable) {
+  worker_pool pool(4);
+  EXPECT_THROW(pool.run(16,
+                        [](std::size_t i) {
+                          if (i == 5) throw std::runtime_error("task 5");
+                        }),
+               std::runtime_error);
+  // A throwing batch must not poison the pool.
+  std::atomic<int> hits{0};
+  pool.run(16, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 16);
+}
+
+TEST(WorkerPool, LowestIndexExceptionWins) {
+  // Matches the old thread-per-shard semantics: the first shard's error is
+  // the one rethrown when several tasks fail.
+  worker_pool pool(4);
+  try {
+    pool.run(8, [](std::size_t i) {
+      if (i == 2 || i == 6) {
+        throw std::runtime_error("task " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 2");
+  }
+}
+
+TEST(WorkerPool, ConcurrentExternalSubmitters) {
+  // Several threads submitting batches to one pool at once (the
+  // mapping_service worker pattern): every batch completes with its own
+  // results intact.
+  worker_pool pool(4);
+  std::vector<std::thread> submitters;
+  std::array<std::atomic<int>, 6> sums{};
+  for (int t = 0; t < 6; ++t) {
+    submitters.emplace_back([&pool, &sums, t] {
+      for (int round = 0; round < 100; ++round) {
+        pool.run(10, [&sums, t](std::size_t i) {
+          sums[t].fetch_add(static_cast<int>(i) + 1);
+        });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (const auto& s : sums) EXPECT_EQ(s.load(), 100 * 55);
+}
+
+TEST(WorkerPool, SingleThreadPoolRunsInline) {
+  worker_pool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const std::thread::id self = std::this_thread::get_id();
+  pool.run(4, [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), self); });
 }
 
 }  // namespace
