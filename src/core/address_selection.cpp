@@ -33,15 +33,18 @@ selection_result select_addresses(const os::mapping_region& buffer,
   // Scan the buffer's frames for a page address p with all page-part bits
   // set whose enclosing aligned window [p - page_part, p + PAGE_SIZE) is
   // fully backed.
-  for (std::uint64_t pfn : buffer.sorted_pfns()) {
-    const std::uint64_t p = pfn * os::kPageSize;
-    if ((p & page_part) != page_part) continue;
-    const std::uint64_t start = p - page_part;
-    if (!buffer.covers_range(start, start + span)) continue;
-    sel.p_start = start;
-    sel.p_end = start + span;
-    sel.found = true;
-    break;
+  for (const os::pfn_run& run : buffer.pfn_runs()) {
+    for (std::uint64_t pfn = run.first_pfn; pfn < run.end_pfn(); ++pfn) {
+      const std::uint64_t p = pfn * os::kPageSize;
+      if ((p & page_part) != page_part) continue;
+      const std::uint64_t start = p - page_part;
+      if (!buffer.covers_range(start, start + span)) continue;
+      sel.p_start = start;
+      sel.p_end = start + span;
+      sel.found = true;
+      break;
+    }
+    if (sel.found) break;
   }
   if (!sel.found) {
     log_error("selection: no contiguous range covering bank bits " +

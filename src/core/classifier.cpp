@@ -310,6 +310,9 @@ partition_outcome bank_classifier::representative_partition(
   std::vector<std::size_t> founder_candidates;
   std::vector<std::uint64_t> partners;
   std::vector<std::size_t> partner_idx;
+  // Founder-pick scratch: ids are `want`-bit values, so group sizes live
+  // in a flat array indexed by id — rebuilt per round, never allocated.
+  std::vector<std::size_t> group_size(want == 0 ? 0 : std::size_t{1} << want);
   unsigned founder_attempts = 0;
   bool prediction_dirty = true;
   // Livelock bound: an address's ladder has at most one rung per
@@ -471,7 +474,7 @@ partition_outcome bank_classifier::representative_partition(
         // Largest unassigned id group founds first: most information per
         // scan, and ties broken by pool order keep the choice
         // deterministic.
-        std::unordered_map<std::uint64_t, std::size_t> group_size;
+        std::fill(group_size.begin(), group_size.end(), 0);
         for (std::size_t i = 0; i < n; ++i) {
           if (assigned_class[i] < 0) ++group_size[ids[i]];
         }

@@ -6,9 +6,8 @@ namespace dramdig::core {
 
 std::uint64_t random_buffer_address(const os::mapping_region& buffer,
                                     rng& r) {
-  const auto& pfns = buffer.sorted_pfns();
-  DRAMDIG_EXPECTS(!pfns.empty());
-  const std::uint64_t pfn = pfns[r.below(pfns.size())];
+  DRAMDIG_EXPECTS(buffer.page_count() > 0);
+  const std::uint64_t pfn = buffer.pfn_at(r.below(buffer.page_count()));
   const std::uint64_t line = r.below(os::kPageSize / 64);
   return pfn * os::kPageSize + line * 64;
 }

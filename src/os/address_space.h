@@ -13,6 +13,23 @@
 
 namespace dramdig::os {
 
+/// One physically contiguous run of a region's backing, in frame order.
+/// The region keeps its lookup structures at run granularity — an
+/// allocation is a few hundred runs even for multi-GiB buffers, so every
+/// query is a short binary search and construction never materializes a
+/// per-page table (which used to cost tens of milliseconds of sort time
+/// per buffer, dominating whole-pipeline walls).
+struct pfn_run {
+  std::uint64_t first_pfn = 0;    ///< lowest frame of the run
+  std::uint64_t page_count = 0;   ///< frames in the run
+  std::uint64_t first_page = 0;   ///< VA page index backing first_pfn
+  std::uint64_t pfn_prefix = 0;   ///< frames in runs before this one
+
+  [[nodiscard]] std::uint64_t end_pfn() const noexcept {
+    return first_pfn + page_count;
+  }
+};
+
 /// One mmap'd buffer: virtually contiguous, physically scattered extents.
 class mapping_region {
  public:
@@ -20,7 +37,7 @@ class mapping_region {
 
   [[nodiscard]] std::uint64_t va_base() const noexcept { return va_base_; }
   [[nodiscard]] std::uint64_t byte_count() const noexcept {
-    return static_cast<std::uint64_t>(page_to_pfn_.size()) * kPageSize;
+    return total_pages_ * kPageSize;
   }
 
   /// pagemap lookup: virtual address -> physical address.
@@ -30,13 +47,23 @@ class mapping_region {
   /// backs that frame.
   [[nodiscard]] std::optional<std::uint64_t> reverse(std::uint64_t pa) const;
 
-  /// All backing frame numbers, ascending. Tools run their physical-side
-  /// logic (Algorithm 1) over this.
-  [[nodiscard]] const std::vector<std::uint64_t>& sorted_pfns() const noexcept {
-    return sorted_pfns_;
+  /// Total pages backing the region.
+  [[nodiscard]] std::uint64_t page_count() const noexcept {
+    return total_pages_;
   }
 
-  /// O(log n) membership: is this physical page part of the buffer?
+  /// The i-th smallest backing frame number, i in [0, page_count()).
+  /// O(log runs) — the indexed view tools use to draw uniform frames.
+  [[nodiscard]] std::uint64_t pfn_at(std::uint64_t i) const;
+
+  /// Backing runs ascending by frame number (disjoint, frames unique).
+  /// Tools run their physical-side logic (Algorithm 1) over these;
+  /// iterating runs in order visits every frame ascending.
+  [[nodiscard]] const std::vector<pfn_run>& pfn_runs() const noexcept {
+    return by_pfn_;
+  }
+
+  /// O(log runs) membership: is this physical page part of the buffer?
   [[nodiscard]] bool contains_page(std::uint64_t pfn) const;
   /// Is every page of [pa_begin, pa_end) backed? (Algorithm 1's
   /// page_miss check.)
@@ -48,10 +75,14 @@ class mapping_region {
   }
 
  private:
+  /// The run containing `pfn`, or nullptr when no run does.
+  [[nodiscard]] const pfn_run* run_of_pfn(std::uint64_t pfn) const;
+
   std::uint64_t va_base_;
+  std::uint64_t total_pages_ = 0;
   std::vector<extent> backing_;
-  std::vector<std::uint64_t> page_to_pfn_;   // va page index -> pfn
-  std::vector<std::uint64_t> sorted_pfns_;   // ascending, for membership
+  std::vector<std::uint64_t> va_prefix_;  ///< pages before backing_[i], VA order
+  std::vector<pfn_run> by_pfn_;           ///< runs ascending by first_pfn
 };
 
 /// The process address space: owns regions, hands out va ranges.

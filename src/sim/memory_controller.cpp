@@ -11,8 +11,8 @@ namespace dramdig::sim {
 
 namespace {
 
-/// Batches below this size are decoded inline: thread spin-up costs more
-/// than the decode work it would spread.
+/// Batches below this size run their decode and counter-noise passes
+/// inline: a pool handoff costs more than the work it would spread.
 constexpr std::size_t kParallelDecodeThreshold = 4096;
 
 }  // namespace
@@ -24,6 +24,13 @@ memory_controller::memory_controller(const dram::address_mapping& truth,
       open_rows_(truth.bank_count()), row_mask_(mask_of_bits(truth.row_bits())),
       burst_rng_(rng_.fork()) {
   DRAMDIG_EXPECTS(truth_.is_bijective());
+  // Key the counter stream off a *copy* of the noise rng: the key is a
+  // pure function of the machine seed, and rng_ itself consumes nothing —
+  // the legacy (use_counter_rng = false) stream stays bit-for-bit the
+  // historical one.
+  rng key_source = rng_;
+  counter_.key0 = key_source.engine()();
+  counter_.key1 = key_source.engine()();
   // Schedule the first background-load burst.
   burst_start_ns_ = static_cast<std::uint64_t>(
       -std::log(1.0 - burst_rng_.uniform()) *
@@ -33,9 +40,12 @@ memory_controller::memory_controller(const dram::address_mapping& truth,
                                              timing_.burst_mean_duration_s * 1e9);
 }
 
-void memory_controller::advance_burst_schedule() const {
-  const std::uint64_t now = clock_.now_ns();
-  while (now >= burst_end_ns_) {
+worker_pool& memory_controller::pool() const {
+  return pool_ != nullptr ? *pool_ : worker_pool::global();
+}
+
+void memory_controller::advance_burst_schedule_to(std::uint64_t now_ns) const {
+  while (now_ns >= burst_end_ns_) {
     const std::uint64_t gap = static_cast<std::uint64_t>(
         -std::log(1.0 - burst_rng_.uniform()) *
         timing_.burst_mean_interval_s * 1e9);
@@ -47,16 +57,21 @@ void memory_controller::advance_burst_schedule() const {
   }
 }
 
-bool memory_controller::in_burst() const {
-  advance_burst_schedule();
-  const std::uint64_t now = clock_.now_ns();
-  return now >= burst_start_ns_ && now < burst_end_ns_;
+bool memory_controller::in_burst_at(std::uint64_t now_ns) const {
+  advance_burst_schedule_to(now_ns);
+  return now_ns >= burst_start_ns_ && now_ns < burst_end_ns_;
 }
 
-double memory_controller::effective_contamination() const {
+bool memory_controller::in_burst() const {
+  return in_burst_at(clock_.now_ns());
+}
+
+double memory_controller::effective_contamination_at(
+    std::uint64_t now_ns) const {
   const double chance =
-      in_burst() ? timing_.contamination_chance * timing_.burst_contamination_factor
-                 : timing_.contamination_chance;
+      in_burst_at(now_ns)
+          ? timing_.contamination_chance * timing_.burst_contamination_factor
+          : timing_.contamination_chance;
   return std::min(chance, 0.5);
 }
 
@@ -80,8 +95,14 @@ double memory_controller::access(std::uint64_t phys) {
     base = timing_.row_conflict_ns;
     slot.row = row;
   }
-  const double latency = std::max(
-      1.0, base + rng_.gaussian(0.0, timing_.access_noise_sigma_ns));
+  // Counter mode keys the access's jitter on its own monotone index;
+  // legacy mode draws the shared sequential stream.
+  const double noise =
+      timing_.use_counter_rng
+          ? counter_.gaussian(kAccessNoiseDomain, access_count_, 0.0,
+                              timing_.access_noise_sigma_ns)
+          : rng_.gaussian(0.0, timing_.access_noise_sigma_ns);
+  const double latency = std::max(1.0, base + noise);
   clock_.advance_ns(static_cast<std::uint64_t>(
       latency + timing_.clflush_ns + timing_.loop_overhead_ns));
   ++access_count_;
@@ -167,17 +188,32 @@ pair_measurement memory_controller::finish_measurement(const decoded_pair& d,
                                 timing_.row_conflict_ns) /
                            accesses;
 
-  // Mean of 2*rounds iid Gaussian samples around the loop's mean latency.
+  // Mean of 2*rounds iid Gaussian samples around the loop's mean latency,
+  // plus heavy-tail contamination: a scheduler preemption or refresh burst
+  // inflates part of the loop; modelled as a uniform positive shift whose
+  // rate rises sharply during background-load bursts. Counter mode serves
+  // all three draws from the measurement's one counter block (pure in the
+  // measurement index — the batch tail evaluates the identical block in
+  // parallel); legacy mode replays the historical sequential stream.
   const double sigma_mean = timing_.access_noise_sigma_ns / std::sqrt(accesses);
-  double observed = mean_base + rng_.gaussian(0.0, sigma_mean);
-
-  // Heavy-tail contamination: a scheduler preemption or refresh burst
-  // inflates part of the loop; modelled as a uniform positive shift. The
-  // rate rises sharply during background-load bursts.
+  double observed;
   bool contaminated = false;
-  if (rng_.chance(effective_contamination())) {
-    observed += rng_.uniform() * timing_.contamination_max_ns;
-    contaminated = true;
+  const double contamination =
+      effective_contamination_at(clock_.now_ns());
+  if (timing_.use_counter_rng) {
+    const counter_block blk =
+        counter_.block(kMeasureNoiseDomain, measurement_count_);
+    observed = mean_base + sigma_mean * counter_gaussian(blk.v0);
+    if (counter_unit(blk.v2) < contamination) {
+      observed += counter_unit(blk.v3) * timing_.contamination_max_ns;
+      contaminated = true;
+    }
+  } else {
+    observed = mean_base + rng_.gaussian(0.0, sigma_mean);
+    if (rng_.chance(contamination)) {
+      observed += rng_.uniform() * timing_.contamination_max_ns;
+      contaminated = true;
+    }
   }
 
   // Charge the virtual clock for the whole measurement loop. Each access
@@ -225,8 +261,10 @@ const memory_controller::decoded_soa& memory_controller::decode_pairs(
   }
   const auto& functions = truth_.bank_functions();
   const unsigned shards =
-      pairs.size() >= kParallelDecodeThreshold ? default_shard_count() : 1;
-  parallel_for_shards(n, shards, [&](const shard& s) {
+      pairs.size() >= kParallelDecodeThreshold
+          ? std::max(default_shard_count(), pool().thread_count())
+          : 1;
+  parallel_for_shards(pool(), n, shards, [&](const shard& s) {
     decode_banks(d.addr.data() + s.begin, s.end - s.begin, functions.data(),
                  functions.size(), d.bank.data() + s.begin);
     for (std::size_t i = s.begin; i < s.end; ++i) {
@@ -236,15 +274,89 @@ const memory_controller::decoded_soa& memory_controller::decode_pairs(
   return d;
 }
 
+void memory_controller::finish_batch_counter(
+    std::span<const addr_pair> pairs, unsigned rounds,
+    std::vector<pair_measurement>& out) {
+  const decoded_soa& d = soa_;
+  const std::size_t n = pairs.size();
+  tail_.mean_base.resize(n);
+  tail_.contam_p.resize(n);
+
+  const double accesses = 2.0 * static_cast<double>(rounds);
+  const double sigma_mean = timing_.access_noise_sigma_ns / std::sqrt(accesses);
+  const auto charge = [this](double base) {
+    return static_cast<std::uint64_t>(base + timing_.clflush_ns +
+                                      timing_.loop_overhead_ns);
+  };
+  const std::uint64_t hit_charge = charge(timing_.row_hit_ns);
+  const std::uint64_t closed_charge = charge(timing_.row_closed_ns);
+  const std::uint64_t conflict_charge = charge(timing_.row_conflict_ns);
+
+  // Sequential fold of everything state-carrying, in submission order: the
+  // row-buffer table (a measurement's first touches see what the previous
+  // measurement left open), the virtual-clock prefix (measurement i's
+  // contamination rate is evaluated at the clock *before* its own charge —
+  // exactly where finish_measurement reads it), and the lazy burst
+  // schedule riding that monotone clock. No randomness is consumed here
+  // beyond burst_rng_'s schedule draws, identical to the scalar sequence.
+  const std::uint64_t base_index = measurement_count_;
+  std::uint64_t clock_at = clock_.now_ns();
+  for (std::size_t i = 0; i < n; ++i) {
+    const decoded_pair dp{d.bank[2 * i], d.row[2 * i], d.bank[2 * i + 1],
+                          d.row[2 * i + 1], 0.0};
+    const access_tally t = timing_.closed_form_accounting
+                               ? tally_closed_form(dp, rounds)
+                               : tally_access_loop(dp, rounds);
+    tail_.mean_base[i] =
+        (static_cast<double>(t.hits) * timing_.row_hit_ns +
+         static_cast<double>(t.closed) * timing_.row_closed_ns +
+         static_cast<double>(t.conflicts) * timing_.row_conflict_ns) /
+        accesses;
+    tail_.contam_p[i] = effective_contamination_at(clock_at);
+    clock_at += t.hits * hit_charge + t.closed * closed_charge +
+                t.conflicts * conflict_charge;
+    open_rows_[dp.bank1] = {dp.row1, true};
+    open_rows_[dp.bank2] = {dp.row2, true};
+  }
+  clock_.advance_ns(clock_at - clock_.now_ns());
+  access_count_ += n * 2ull * rounds;
+  measurement_count_ += n;
+
+  // Parallel noise pass: element i is a pure function of (key, base+i) and
+  // the two per-measurement scalars folded above — shard-independent by
+  // construction, so any shard split and any pool yield identical output.
+  const unsigned shards =
+      n >= kParallelDecodeThreshold
+          ? std::max(default_shard_count(), pool().thread_count())
+          : 1;
+  parallel_for_shards(pool(), n, shards, [&](const shard& s) {
+    for (std::size_t i = s.begin; i < s.end; ++i) {
+      const counter_block blk =
+          counter_.block(kMeasureNoiseDomain, base_index + i);
+      double observed =
+          tail_.mean_base[i] + sigma_mean * counter_gaussian(blk.v0);
+      bool contaminated = false;
+      if (counter_unit(blk.v2) < tail_.contam_p[i]) {
+        observed += counter_unit(blk.v3) * timing_.contamination_max_ns;
+        contaminated = true;
+      }
+      out[i] = {std::max(1.0, observed), contaminated};
+    }
+  });
+}
+
 void memory_controller::measure_pairs(std::span<const addr_pair> pairs,
                                       unsigned rounds,
                                       std::vector<pair_measurement>& out) {
   DRAMDIG_EXPECTS(rounds > 0);
   // Decode is a pure function of the address, so the staged SoA path below
-  // agrees bit for bit with a fused per-pair decode+finish loop; the
-  // stochastic tail replays sequentially in submission order.
+  // agrees bit for bit with a fused per-pair decode+finish loop.
   const decoded_soa& d = decode_pairs(pairs);
   out.resize(pairs.size());
+  if (timing_.use_counter_rng) {
+    finish_batch_counter(pairs, rounds, out);
+    return;
+  }
   if (!timing_.closed_form_accounting) {
     // The access-loop oracle is the slow differential path; per-pair
     // dispatch cost is noise next to its 2*rounds iterations.
@@ -255,10 +367,11 @@ void memory_controller::measure_pairs(std::span<const addr_pair> pairs,
     }
     return;
   }
-  // Fused batch tail: the same arithmetic and rng draw order as
+  // Fused legacy batch tail: the same arithmetic and rng draw order as
   // finish_measurement, with every batch-invariant term (noise sigma of
   // the sample mean, the three per-access clock charges) hoisted out of
-  // the per-pair loop.
+  // the per-pair loop. Strictly sequential — every gaussian/chance call
+  // advances the one shared mt19937 stream.
   const double accesses = 2.0 * static_cast<double>(rounds);
   const double sigma_mean = timing_.access_noise_sigma_ns / std::sqrt(accesses);
   const auto charge = [this](double base) {
@@ -279,7 +392,7 @@ void memory_controller::measure_pairs(std::span<const addr_pair> pairs,
         accesses;
     double observed = mean_base + rng_.gaussian(0.0, sigma_mean);
     bool contaminated = false;
-    if (rng_.chance(effective_contamination())) {
+    if (rng_.chance(effective_contamination_at(clock_.now_ns()))) {
       observed += rng_.uniform() * timing_.contamination_max_ns;
       contaminated = true;
     }

@@ -15,6 +15,10 @@
 #include "sim/virtual_clock.h"
 #include "util/rng.h"
 
+namespace dramdig {
+class worker_pool;
+}
+
 namespace dramdig::sim {
 
 /// Result of one timed pair measurement (the paper's `latency(p, p')`).
@@ -64,17 +68,28 @@ class memory_controller {
   const decoded_soa& decode_pairs(std::span<const addr_pair> pairs);
 
   /// Service a whole batch of pair measurements in one pass. The address
-  /// decodes (bank/row extraction — the host-side hot cost) run through
-  /// the SoA path above, sharded across the persistent worker pool; the
-  /// stochastic part (noise draws, burst schedule, clock charging,
-  /// row-buffer updates) then replays sequentially in submission order, so
-  /// `out` is bit-identical to calling measure_pair once per element — on
-  /// any thread count. The out-param form lets hot callers reuse one
-  /// result buffer across thousands of batches.
+  /// decodes (bank/row extraction) run through the SoA path above, sharded
+  /// across the persistent worker pool. The tail depends on the noise
+  /// mode: under timing_model::use_counter_rng (default) a cheap
+  /// sequential pass folds the state-carrying reductions in submission
+  /// order (row-buffer evolution, per-measurement clock prefix, burst
+  /// schedule, counters) and the noise itself — a pure function of
+  /// (machine seed, measurement index) through the counter stream — is
+  /// then evaluated shard-parallel; with the flag off the historical
+  /// mt19937 tail replays strictly sequentially. Either way `out` is
+  /// bit-identical to calling measure_pair once per element, on any
+  /// thread count. The out-param form lets hot callers reuse one result
+  /// buffer across thousands of batches.
   void measure_pairs(std::span<const addr_pair> pairs, unsigned rounds,
                      std::vector<pair_measurement>& out);
   [[nodiscard]] std::vector<pair_measurement> measure_pairs(
       std::span<const addr_pair> pairs, unsigned rounds);
+
+  /// Inject the worker pool servicing the parallel decode and counter-rng
+  /// tail shards (nullptr restores the process-wide pool). The shard
+  /// *results* never depend on the pool; benches inject sized pools to
+  /// measure thread scaling, tests to prove they may.
+  void set_worker_pool(worker_pool* pool) noexcept { pool_ = pool; }
 
   /// Steady-state noiseless per-access latency for an alternating pair —
   /// used by tests to assert the channel's ground truth.
@@ -150,27 +165,51 @@ class memory_controller {
                                                unsigned rounds);
 
   /// The stochastic tail of one measurement: noise draws, clock charge,
-  /// counters and row-buffer update. Must run in submission order.
+  /// counters and row-buffer update. Must run in submission order (in
+  /// counter mode only its draws are order-free; the state folds are not).
   [[nodiscard]] pair_measurement finish_measurement(const decoded_pair& d,
                                                     unsigned rounds);
+
+  /// The counter-mode batch tail: sequential state fold, parallel noise.
+  void finish_batch_counter(std::span<const addr_pair> pairs, unsigned rounds,
+                            std::vector<pair_measurement>& out);
+
+  /// Noise domains of the counter stream — distinct second counter words,
+  /// so the access-noise and measurement-noise sequences never collide.
+  static constexpr std::uint64_t kAccessNoiseDomain = 0;
+  static constexpr std::uint64_t kMeasureNoiseDomain = 1;
+
+  [[nodiscard]] worker_pool& pool() const;
 
   dram::address_mapping truth_;
   timing_model timing_;
   virtual_clock& clock_;
   rng rng_;
+  noise_stream counter_;  ///< counter-mode noise; keyed off rng_'s seed
   std::vector<open_row> open_rows_;  ///< flat table indexed by flat bank id
   std::uint64_t row_mask_ = 0;       ///< OR of the mapping's row bits
   decoded_soa soa_;                  ///< batch decode scratch, reused
+  worker_pool* pool_ = nullptr;      ///< injected pool; nullptr = global
   std::uint64_t access_count_ = 0;
   std::uint64_t measurement_count_ = 0;
+
+  /// Counter-tail scratch (reused): per-measurement noiseless mean and
+  /// effective contamination rate, produced by the sequential fold and
+  /// consumed by the parallel noise pass.
+  struct tail_scratch {
+    std::vector<double> mean_base;
+    std::vector<double> contam_p;
+  };
+  tail_scratch tail_;
 
   // Background-load burst schedule, advanced lazily with virtual time.
   mutable std::uint64_t burst_start_ns_ = 0;
   mutable std::uint64_t burst_end_ns_ = 0;
   mutable rng burst_rng_{0};
 
-  void advance_burst_schedule() const;
-  [[nodiscard]] double effective_contamination() const;
+  void advance_burst_schedule_to(std::uint64_t now_ns) const;
+  [[nodiscard]] bool in_burst_at(std::uint64_t now_ns) const;
+  [[nodiscard]] double effective_contamination_at(std::uint64_t now_ns) const;
 };
 
 }  // namespace dramdig::sim

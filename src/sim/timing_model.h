@@ -45,6 +45,20 @@ struct timing_model {
   /// (mirrors function_config::use_nullspace). Both modes draw the same
   /// rng stream and produce bit-identical results.
   bool closed_form_accounting = true;
+
+  /// Noise-stream mode. `true` (default) keys every access's and every
+  /// measurement's noise on its monotone index through a counter-based
+  /// Philox stream (util/rng.h noise_stream): draw i is a pure function of
+  /// (machine seed, i), so the batched measurement tail evaluates its noise
+  /// shard-parallel and stays bit-identical on any thread count — and a
+  /// measurement batch still equals the same scalar measure_pair sequence
+  /// exactly. `false` replays the historical sequential mt19937_64 stream
+  /// (per-call normal_distribution construction and all), the
+  /// differential-test oracle in the use_nullspace/use_arena_index mold.
+  /// The two modes produce *statistically* identical noise but different
+  /// concrete streams, so flipping this legitimately shifts measurement
+  /// counts (tests pin equivalence via tolerance bands, not values).
+  bool use_counter_rng = true;
 };
 
 }  // namespace dramdig::sim

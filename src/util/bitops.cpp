@@ -1,0 +1,141 @@
+// decode_banks kernels and their one-time runtime dispatch.
+//
+// The decode loop is pure bit arithmetic (mask, parity, shift, or), so the
+// AVX2 and scalar kernels are exactly equivalent — the dispatch is a wall-
+// time decision only. Layout: function-major over 64-address blocks. A
+// block's 64 outputs live in L1 (one cache line of addresses feeds eight
+// outputs) while every function sweeps it, instead of streaming the whole
+// output array once per function.
+#include "util/bitops.h"
+
+#include <bit>
+#include <cstdlib>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define DRAMDIG_HAVE_AVX2_KERNEL 1
+#include <immintrin.h>
+#endif
+
+namespace dramdig {
+
+namespace {
+
+constexpr std::size_t kBlock = 64;
+
+void decode_block_scalar(const std::uint64_t* addrs, std::size_t n,
+                         const std::uint64_t* functions,
+                         std::size_t function_count, std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+  for (std::size_t f = 0; f < function_count; ++f) {
+    const std::uint64_t mask = functions[f];
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] |= static_cast<std::uint64_t>(std::popcount(addrs[i] & mask) & 1)
+                << f;
+    }
+  }
+}
+
+#if DRAMDIG_HAVE_AVX2_KERNEL
+
+/// Vector parity: reduce each 64-bit lane of `v` to its parity bit via an
+/// XOR-fold (the lane-local equivalent of popcount & 1, with no cross-lane
+/// traffic).
+__attribute__((target("avx2"))) inline __m256i parity_epi64(__m256i v) {
+  v = _mm256_xor_si256(v, _mm256_srli_epi64(v, 32));
+  v = _mm256_xor_si256(v, _mm256_srli_epi64(v, 16));
+  v = _mm256_xor_si256(v, _mm256_srli_epi64(v, 8));
+  v = _mm256_xor_si256(v, _mm256_srli_epi64(v, 4));
+  v = _mm256_xor_si256(v, _mm256_srli_epi64(v, 2));
+  v = _mm256_xor_si256(v, _mm256_srli_epi64(v, 1));
+  return _mm256_and_si256(v, _mm256_set1_epi64x(1));
+}
+
+__attribute__((target("avx2"))) void decode_block_avx2(
+    const std::uint64_t* addrs, std::size_t n, const std::uint64_t* functions,
+    std::size_t function_count, std::uint64_t* out) {
+  std::size_t i = 0;
+  const std::size_t vec_n = n & ~std::size_t{3};
+  for (; i < vec_n; i += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_setzero_si256());
+  }
+  for (; i < n; ++i) out[i] = 0;
+  for (std::size_t f = 0; f < function_count; ++f) {
+    const __m256i mask = _mm256_set1_epi64x(
+        static_cast<long long>(functions[f]));
+    for (i = 0; i < vec_n; i += 4) {
+      const __m256i a = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(addrs + i));
+      const __m256i bit = _mm256_slli_epi64(
+          parity_epi64(_mm256_and_si256(a, mask)),
+          static_cast<int>(f));
+      const __m256i acc = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(out + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                          _mm256_or_si256(acc, bit));
+    }
+    const std::uint64_t m = functions[f];
+    for (i = vec_n; i < n; ++i) {
+      out[i] |= static_cast<std::uint64_t>(std::popcount(addrs[i] & m) & 1)
+                << f;
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void decode_banks_avx2(
+    const std::uint64_t* addrs, std::size_t n, const std::uint64_t* functions,
+    std::size_t function_count, std::uint64_t* out) {
+  for (std::size_t at = 0; at < n; at += kBlock) {
+    const std::size_t len = n - at < kBlock ? n - at : kBlock;
+    decode_block_avx2(addrs + at, len, functions, function_count, out + at);
+  }
+}
+
+bool avx2_usable() {
+  if (std::getenv("DRAMDIG_FORCE_SCALAR_DECODE") != nullptr) return false;
+  return __builtin_cpu_supports("avx2") != 0;
+}
+
+#endif  // DRAMDIG_HAVE_AVX2_KERNEL
+
+using decode_fn = void (*)(const std::uint64_t*, std::size_t,
+                           const std::uint64_t*, std::size_t, std::uint64_t*);
+
+decode_fn resolve_decode() {
+#if DRAMDIG_HAVE_AVX2_KERNEL
+  if (avx2_usable()) return &decode_banks_avx2;
+#endif
+  return &decode_banks_scalar;
+}
+
+decode_fn resolved_decode() {
+  static const decode_fn fn = resolve_decode();
+  return fn;
+}
+
+}  // namespace
+
+void decode_banks_scalar(const std::uint64_t* addrs, std::size_t n,
+                         const std::uint64_t* functions,
+                         std::size_t function_count, std::uint64_t* out) {
+  for (std::size_t at = 0; at < n; at += kBlock) {
+    const std::size_t len = n - at < kBlock ? n - at : kBlock;
+    decode_block_scalar(addrs + at, len, functions, function_count, out + at);
+  }
+}
+
+void decode_banks(const std::uint64_t* addrs, std::size_t n,
+                  const std::uint64_t* functions, std::size_t function_count,
+                  std::uint64_t* out) {
+  resolved_decode()(addrs, n, functions, function_count, out);
+}
+
+bool decode_banks_uses_simd() {
+#if DRAMDIG_HAVE_AVX2_KERNEL
+  return resolved_decode() == &decode_banks_avx2;
+#else
+  return false;
+#endif
+}
+
+}  // namespace dramdig

@@ -80,22 +80,27 @@ namespace dramdig {
 }
 
 /// Decode the flat bank index of `n` addresses at once: out[i] gets bit f
-/// equal to parity(addrs[i], functions[f]). Written function-major over the
-/// contiguous address array so the inner loop is a branch-free
-/// mask/popcount/shift chain the compiler can vectorize — this is the
-/// simulator's decode hot loop (see sim::memory_controller::decode_pairs).
-inline void decode_banks(const std::uint64_t* addrs, std::size_t n,
+/// equal to parity(addrs[i], functions[f]). This is the simulator's decode
+/// hot loop (see sim::memory_controller::decode_pairs): function-major over
+/// 64-address blocks so the per-block output stays register/L1 resident
+/// across functions. Dispatches once, at first call, to an AVX2 kernel
+/// when the CPU supports it (and DRAMDIG_FORCE_SCALAR_DECODE is not set in
+/// the environment), else to the portable scalar kernel; both kernels are
+/// exact bit operations and produce identical output — pinned by
+/// tests/util/test_bitops.cpp on random function sets.
+void decode_banks(const std::uint64_t* addrs, std::size_t n,
+                  const std::uint64_t* functions, std::size_t function_count,
+                  std::uint64_t* out);
+
+/// The portable kernel, callable directly (tests, the decode_simd bench).
+void decode_banks_scalar(const std::uint64_t* addrs, std::size_t n,
                          const std::uint64_t* functions,
-                         std::size_t function_count, std::uint64_t* out) {
-  for (std::size_t i = 0; i < n; ++i) out[i] = 0;
-  for (std::size_t f = 0; f < function_count; ++f) {
-    const std::uint64_t mask = functions[f];
-    for (std::size_t i = 0; i < n; ++i) {
-      out[i] |= static_cast<std::uint64_t>(std::popcount(addrs[i] & mask) & 1)
-                << f;
-    }
-  }
-}
+                         std::size_t function_count, std::uint64_t* out);
+
+/// True when decode_banks resolved to a SIMD kernel on this host — i.e.
+/// the CPU supports it and the scalar fallback was not forced via the
+/// DRAMDIG_FORCE_SCALAR_DECODE environment variable.
+[[nodiscard]] bool decode_banks_uses_simd();
 
 /// Number of contiguous low bits needed to address `size` bytes; requires a
 /// power-of-two size.

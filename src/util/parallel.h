@@ -207,12 +207,16 @@ class worker_pool {
   bool stop_ = false;
 };
 
-/// Run `fn` once per shard of [0, n), on the persistent worker pool when
-/// more than one shard exists. `fn` must confine writes to shard-private
-/// state (slots of a pre-sized output vector indexed by item or shard index
-/// are the intended pattern). Exceptions thrown by `fn` are rethrown on the
-/// caller thread after the batch drains, lowest shard index first.
-inline void parallel_for_shards(std::size_t n, unsigned shards,
+/// Run `fn` once per shard of [0, n), on `pool` when more than one shard
+/// exists. `fn` must confine writes to shard-private state (slots of a
+/// pre-sized output vector indexed by item or shard index are the intended
+/// pattern). Exceptions thrown by `fn` are rethrown on the caller thread
+/// after the batch drains, lowest shard index first. The shard *split* is a
+/// function of (n, shards) alone — which pool services it is never
+/// observable, so benches may inject oversized pools to measure scaling
+/// without touching results.
+inline void parallel_for_shards(worker_pool& pool, std::size_t n,
+                                unsigned shards,
                                 const std::function<void(const shard&)>& fn) {
   const std::vector<shard> plan = make_shards(n, shards);
   if (plan.empty()) return;
@@ -220,8 +224,13 @@ inline void parallel_for_shards(std::size_t n, unsigned shards,
     fn(plan.front());
     return;
   }
-  worker_pool::global().run(plan.size(),
-                            [&](std::size_t i) { fn(plan[i]); });
+  pool.run(plan.size(), [&](std::size_t i) { fn(plan[i]); });
+}
+
+/// Convenience overload dispatching to the process-wide pool.
+inline void parallel_for_shards(std::size_t n, unsigned shards,
+                                const std::function<void(const shard&)>& fn) {
+  parallel_for_shards(worker_pool::global(), n, shards, fn);
 }
 
 /// Fork `n` independent child streams from `parent` — one per shard, drawn

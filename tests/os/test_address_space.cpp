@@ -26,7 +26,7 @@ TEST(AddressSpace, MapBufferBacksEveryPage) {
   space_fixture f;
   const auto& region = f.space.map_buffer(1ull << 20);
   EXPECT_EQ(region.byte_count(), 1ull << 20);
-  EXPECT_EQ(region.sorted_pfns().size(), (1ull << 20) / kPageSize);
+  EXPECT_EQ(region.page_count(), (1ull << 20) / kPageSize);
 }
 
 TEST(AddressSpace, TranslateIsPageCoherent) {
@@ -64,12 +64,34 @@ TEST(AddressSpace, ReverseReturnsNulloptForForeignFrames) {
   EXPECT_FALSE(region.reverse(0).has_value());
 }
 
-TEST(AddressSpace, SortedPfnsAreSortedAndUnique) {
+TEST(AddressSpace, PfnRunsAreSortedDisjointAndComplete) {
   space_fixture f;
   const auto& region = f.space.map_buffer(1ull << 22);
-  const auto& pfns = region.sorted_pfns();
-  EXPECT_TRUE(std::is_sorted(pfns.begin(), pfns.end()));
-  EXPECT_EQ(std::adjacent_find(pfns.begin(), pfns.end()), pfns.end());
+  const auto& runs = region.pfn_runs();
+  ASSERT_FALSE(runs.empty());
+  std::uint64_t pages = runs.front().page_count;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    // Strictly ascending and disjoint: every frame appears exactly once.
+    EXPECT_GE(runs[i].first_pfn, runs[i - 1].end_pfn());
+    EXPECT_EQ(runs[i].pfn_prefix, runs[i - 1].pfn_prefix +
+                                      runs[i - 1].page_count);
+    pages += runs[i].page_count;
+  }
+  EXPECT_EQ(pages, region.page_count());
+}
+
+TEST(AddressSpace, PfnAtEnumeratesFramesAscending) {
+  space_fixture f;
+  const auto& region = f.space.map_buffer(1ull << 20);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < region.page_count(); ++i) {
+    const std::uint64_t pfn = region.pfn_at(i);
+    if (i > 0) {
+      EXPECT_GT(pfn, prev);
+    }
+    EXPECT_TRUE(region.contains_page(pfn));
+    prev = pfn;
+  }
 }
 
 TEST(AddressSpace, CoversRangeOnContiguousBacking) {

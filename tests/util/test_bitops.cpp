@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "util/rng.h"
+
 namespace dramdig {
 namespace {
 
@@ -86,6 +90,75 @@ TEST(Bitops, Log2ExactRejectsNonPowers) {
   EXPECT_THROW((void)log2_exact(0), contract_violation);
   EXPECT_THROW((void)log2_exact(3), contract_violation);
   EXPECT_THROW((void)log2_exact(4097), contract_violation);
+}
+
+// --- decode_banks: the dispatched (possibly SIMD) kernel vs the portable
+// scalar kernel vs the per-bit parity definition. The two kernels must be
+// exact bit operations, so equality is == — no tolerance.
+
+/// Reference semantics, straight from the spec: out[i] bit f is
+/// parity(addrs[i], functions[f]).
+[[nodiscard]] std::vector<std::uint64_t> decode_banks_reference(
+    const std::vector<std::uint64_t>& addrs,
+    const std::vector<std::uint64_t>& functions) {
+  std::vector<std::uint64_t> out(addrs.size(), 0);
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    for (std::size_t f = 0; f < functions.size(); ++f) {
+      out[i] |= static_cast<std::uint64_t>(parity(addrs[i], functions[f]))
+                << f;
+    }
+  }
+  return out;
+}
+
+TEST(Bitops, DecodeBanksMatchesParityDefinition) {
+  rng r(101);
+  const std::vector<std::uint64_t> functions{
+      (1ull << 14) | (1ull << 17), (1ull << 15) | (1ull << 18),
+      (1ull << 16) | (1ull << 19), (1ull << 6)};
+  std::vector<std::uint64_t> addrs(1000);
+  for (auto& a : addrs) a = r.below(1ull << 34);
+
+  const auto expected = decode_banks_reference(addrs, functions);
+  std::vector<std::uint64_t> got(addrs.size());
+  decode_banks(addrs.data(), addrs.size(), functions.data(), functions.size(),
+               got.data());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Bitops, DecodeBanksDispatchEqualsScalarOnRandomFunctionSets) {
+  // Random masks (not just realistic bank functions) across sizes that
+  // straddle the kernel's 64-address block boundary, including the ragged
+  // tail and the empty batch.
+  rng r(103);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{63},
+                              std::size_t{64}, std::size_t{65},
+                              std::size_t{1000}, std::size_t{4096}}) {
+    for (std::size_t function_count = 0; function_count <= 6;
+         ++function_count) {
+      std::vector<std::uint64_t> functions(function_count);
+      for (auto& f : functions) f = r.below(~std::uint64_t{0});
+      std::vector<std::uint64_t> addrs(n);
+      for (auto& a : addrs) a = r.below(~std::uint64_t{0});
+
+      std::vector<std::uint64_t> dispatched(n), scalar(n);
+      decode_banks(addrs.data(), n, functions.data(), function_count,
+                   dispatched.data());
+      decode_banks_scalar(addrs.data(), n, functions.data(), function_count,
+                          scalar.data());
+      EXPECT_EQ(dispatched, scalar)
+          << "n=" << n << " functions=" << function_count;
+      EXPECT_EQ(scalar, decode_banks_reference(addrs, functions))
+          << "n=" << n << " functions=" << function_count;
+    }
+  }
+}
+
+TEST(Bitops, DecodeBanksSimdFlagIsStable) {
+  // Dispatch resolves once; repeated queries agree (whatever the host and
+  // DRAMDIG_FORCE_SCALAR_DECODE decided).
+  const bool first = decode_banks_uses_simd();
+  EXPECT_EQ(decode_banks_uses_simd(), first);
 }
 
 }  // namespace
