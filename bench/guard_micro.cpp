@@ -1,9 +1,10 @@
 // Perf-regression guard over a freshly emitted BENCH_micro.json: CI runs
 // the smoke bench, then this checker, and the build fails when a tracked
 // wall-speedup ratio drops below its floor or a differential-identity flag
-// flips. The project deliberately has no JSON parser (emission only), so
-// this scans for `"key": value` inside a named section — exactly the shape
-// util/json.h emits.
+// flips. The guard deliberately does not link the library (it must stay a
+// dumb reader even if the emitter is broken), so instead of util/json.h's
+// parser it scans for `"key": value` inside a named section — exactly the
+// shape util/json.h emits.
 //
 // Usage: bench_guard BENCH_micro.json [--min-nullspace=N] [--min-accounting=N]
 #include <cstdio>
@@ -120,6 +121,14 @@ int main(int argc, char** argv) {
   // Dispatched decode_banks vs the pinned scalar kernel; 1.0+ wherever a
   // SIMD unit exists, and never far below even on the forced-scalar run.
   double min_decode_speedup = 0.8;
+  // Verification-only store hits vs a cold recovery (measurement count
+  // reduction, 0.8 = "80% fewer"): the fleet store's acceptance metric.
+  double min_warm_reduction = 0.8;
+  // plan_overhead.ns_per_verdict_ratio is EXPECTED below one (cached
+  // verdicts pay bookkeeping per verdict; the win is measurement count,
+  // gated by partition_measurement_reuse). The floor only documents that a
+  // cached verdict must not become absurdly slower than a raw re-measure.
+  double min_verdict_ratio = 0.2;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--min-nullspace=", 16) == 0) {
       min_nullspace = std::strtod(argv[i] + 16, nullptr);
@@ -141,6 +150,10 @@ int main(int argc, char** argv) {
       min_tail_scaling = std::strtod(argv[i] + 19, nullptr);
     } else if (std::strncmp(argv[i], "--min-decode-speedup=", 21) == 0) {
       min_decode_speedup = std::strtod(argv[i] + 21, nullptr);
+    } else if (std::strncmp(argv[i], "--min-warm-reduction=", 21) == 0) {
+      min_warm_reduction = std::strtod(argv[i] + 21, nullptr);
+    } else if (std::strncmp(argv[i], "--min-verdict-ratio=", 20) == 0) {
+      min_verdict_ratio = std::strtod(argv[i] + 20, nullptr);
     } else {
       path = argv[i];
     }
@@ -152,7 +165,8 @@ int main(int argc, char** argv) {
                  "[--min-probe-reduction=F] [--min-batch-speedup=N] "
                  "[--min-reuse-wall-speedup=N] [--min-hot-throughput=N] "
                  "[--min-noise-speedup=N] [--min-tail-scaling=N] "
-                 "[--min-decode-speedup=N]\n");
+                 "[--min-decode-speedup=N] [--min-warm-reduction=F] "
+                 "[--min-verdict-ratio=F]\n");
     return 2;
   }
   std::ifstream in(path);
@@ -189,6 +203,38 @@ int main(int argc, char** argv) {
               failures);
   check_ratio(doc, "decode_simd", "speedup", min_decode_speedup, failures);
   check_true(doc, "decode_simd", "identical_results", failures);
+
+  // plan_overhead's per-verdict ratio sits below one on purpose (the
+  // emitter annotates it with expected_below_one) — the guard checks the
+  // annotation is still there and pins only a pessimistic lower floor, so
+  // the committed value reads as intent, not as an unnoticed regression.
+  check_true(doc, "plan_overhead", "expected_below_one", failures);
+  check_ratio(doc, "plan_overhead", "ns_per_verdict_ratio", min_verdict_ratio,
+              failures);
+
+  // Fleet mapping store: a verification-only hit must cost at least the
+  // floor fewer measurements than the cold recovery it replaces, while
+  // reproducing the stored mapping bit-identically.
+  check_true(doc, "fleet_warm_start", "mapping_identical", failures);
+  check_true(doc, "fleet_warm_start", "hits_ok", failures);
+  const std::string warm_text =
+      value_after(doc, "fleet_warm_start", "verify_reduction");
+  if (warm_text.empty()) {
+    std::fprintf(stderr, "guard: fleet_warm_start.verify_reduction missing\n");
+    ++failures;
+  } else {
+    const double reduction = std::strtod(warm_text.c_str(), nullptr);
+    if (reduction < min_warm_reduction) {
+      std::fprintf(stderr,
+                   "guard: store verification saves only %.0f%% vs a cold "
+                   "recovery (floor %.0f%%)\n",
+                   reduction * 100.0, min_warm_reduction * 100.0);
+      ++failures;
+    } else {
+      std::printf("guard: store verification saves %.0f%% (floor %.0f%%) ok\n",
+                  reduction * 100.0, min_warm_reduction * 100.0);
+    }
+  }
 
   // Raw hot-path throughput: the slower of decode/measure at 100k pairs
   // must clear the floor (simulated measurements per host second).

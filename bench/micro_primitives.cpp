@@ -19,6 +19,7 @@
 #include <span>
 #include <string>
 
+#include "api/mapping_service.h"
 #include "core/address_selection.h"
 #include "core/bit_probe.h"
 #include "core/coarse_detect.h"
@@ -643,9 +644,9 @@ void emit_bench_json(const std::string& path, bool smoke) {
   // Plan overhead per verdict: the same vote batch classified three times.
   // With reuse on, passes 2-3 never touch the channel — the wall time is
   // plan bookkeeping (hash lookups, root cache, witness scans); with reuse
-  // off every pass re-measures. The ratio is CI-gated indirectly through
-  // partition_measurement_reuse.wall_speedup below; here the per-verdict
-  // nanoseconds are tracked so an index regression is visible in review.
+  // off every pass re-measures. The emitted ns_per_verdict_ratio (off/on)
+  // sits BELOW one by design — see the annotation where it is written; the
+  // end-to-end win is CI-gated through partition_measurement_reuse below.
   const std::size_t overhead_pair_count = smoke ? 20000 : 50000;
   double overhead_on_s = 1e300, overhead_off_s = 1e300;
   {
@@ -707,6 +708,46 @@ void emit_bench_json(const std::string& path, bool smoke) {
     report_on = core::dramdig_tool(env_on).run();
     reuse_on_wall_s = std::min(reuse_on_wall_s, wall_seconds_since(t0));
   }
+
+  // Fleet warm start: the same machine run three ways through the mapping
+  // store — cold (empty store, full recovery), verify (exact fingerprint
+  // hit, a few hundred designed probes), and warm (geometry sibling,
+  // full recovery warm-started from stored evidence). The verify/cold
+  // measurement reduction is the acceptance metric of the store: a repeat
+  // profile of a known machine must cost >=80% fewer measurements
+  // (bench_guard --min-warm-reduction) while reproducing the stored
+  // mapping bit-identically.
+  const auto fleet_spec = dram::machine_by_number(1);
+  std::uint64_t fleet_cold_m = 0, fleet_verify_m = 0, fleet_warm_m = 0;
+  bool fleet_mapping_identical = false, fleet_hits_ok = false;
+  {
+    store::mapping_store fleet_store;  // in-memory: the bench needs no disk
+    api::service_config fleet_cfg;
+    fleet_cfg.threads = 1;
+    fleet_cfg.store = &fleet_store;
+    const api::mapping_service fleet(fleet_cfg);
+    const std::uint64_t fleet_seed = 777;
+    const auto cold = fleet.run({{fleet_spec, "dramdig", {}, fleet_seed}});
+    const auto verify = fleet.run({{fleet_spec, "dramdig", {}, fleet_seed}});
+    dram::machine_spec sibling = fleet_spec;
+    sibling.cpu_model += " (geometry sibling)";
+    const auto warm = fleet.run({{sibling, "dramdig", {}, fleet_seed}});
+    fleet_cold_m = cold[0].result.measurement_count;
+    fleet_verify_m = verify[0].result.measurement_count;
+    fleet_warm_m = warm[0].result.measurement_count;
+    fleet_mapping_identical =
+        cold[0].result.mapping && verify[0].result.mapping &&
+        cold[0].result.mapping->describe() == verify[0].result.mapping->describe();
+    fleet_hits_ok = cold[0].store_hit == "cold" &&
+                    verify[0].store_hit == "verify" &&
+                    warm[0].store_hit == "warm" && cold[0].result.verified &&
+                    verify[0].result.verified && warm[0].result.verified;
+  }
+  const auto reduction_vs_cold = [&](std::uint64_t m) {
+    return 1.0 - static_cast<double>(m) /
+                     static_cast<double>(std::max<std::uint64_t>(fleet_cold_m,
+                                                                 1));
+  };
 
   json_writer w;
   w.begin_object();
@@ -782,8 +823,14 @@ void emit_bench_json(const std::string& path, bool smoke) {
       .value(overhead_on_s * 1e9 / static_cast<double>(overhead_verdicts));
   w.key("ns_per_verdict_off")
       .value(overhead_off_s * 1e9 / static_cast<double>(overhead_verdicts));
-  w.key("wall_speedup")
+  // off/on per-verdict wall ratio. Below one BY DESIGN: a cached verdict
+  // pays hash lookups and witness scans where a raw re-measure is a tight
+  // simulated-latency loop — the cache wins on *measurement count*, which
+  // partition_measurement_reuse gates, not on per-verdict nanoseconds.
+  // The key is named (and flagged) so nobody "fixes" the <1 value.
+  w.key("ns_per_verdict_ratio")
       .value(overhead_off_s / std::max(overhead_on_s, 1e-9));
+  w.key("expected_below_one").value(true);
   w.end_object();
   w.key("measurement_accounting").begin_object();
   w.key("pair_count").value(pair_count);
@@ -829,6 +876,16 @@ void emit_bench_json(const std::string& path, bool smoke) {
   w.key("wall_cache_on_s").value(reuse_on_wall_s);
   w.key("wall_speedup")
       .value(reuse_off_wall_s / std::max(reuse_on_wall_s, 1e-9));
+  w.end_object();
+  w.key("fleet_warm_start").begin_object();
+  w.key("machine").value(fleet_spec.label());
+  w.key("cold_measurements").value(fleet_cold_m);
+  w.key("verify_measurements").value(fleet_verify_m);
+  w.key("warm_measurements").value(fleet_warm_m);
+  w.key("verify_reduction").value(reduction_vs_cold(fleet_verify_m));
+  w.key("warm_reduction").value(reduction_vs_cold(fleet_warm_m));
+  w.key("mapping_identical").value(fleet_mapping_identical);
+  w.key("hits_ok").value(fleet_hits_ok);
   w.end_object();
   w.end_object();
   write_file(path, w.str());
@@ -898,6 +955,15 @@ void emit_bench_json(const std::string& path, bool smoke) {
               static_cast<double>(decode_addrs) / scalar_decode_s / 1e6,
               scalar_decode_s / std::max(simd_decode_s, 1e-9),
               decode_identical ? "yes" : "NO");
+  std::printf("fleet warm start on %s: cold %llu, verify %llu (-%.0f%%), "
+              "warm %llu (-%.0f%%) measurements, mapping identical: %s\n",
+              fleet_spec.label().c_str(),
+              static_cast<unsigned long long>(fleet_cold_m),
+              static_cast<unsigned long long>(fleet_verify_m),
+              100.0 * reduction_vs_cold(fleet_verify_m),
+              static_cast<unsigned long long>(fleet_warm_m),
+              100.0 * reduction_vs_cold(fleet_warm_m),
+              fleet_mapping_identical && fleet_hits_ok ? "yes" : "NO");
 }
 
 }  // namespace

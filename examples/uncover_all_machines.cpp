@@ -3,11 +3,28 @@
 // machines concurrently; a progress observer narrates completions as they
 // land (in wall-clock order), while the final table merges by submission
 // index, so it is identical however the pool interleaves.
+//
+//   $ uncover_all_machines [--store <path>] [--machines=1,3,7]
+//
+// --store points at a persistent fleet mapping store: the first fleet run
+// seeds it (every job prints `store_hit: cold`), a repeat run against the
+// same store turns every machine into a verification-only job
+// (`store_hit: verify`, a few hundred designed probes each) and must
+// reproduce the stored mappings bit-identically — the per-machine
+// `mapping N: ...` lines exist so a driver can diff the two runs.
+// --machines restricts the fleet to a comma-separated list of paper
+// machine numbers (the CI round-trip smoke uses a two-machine fleet).
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "api/mapping_service.h"
 #include "dram/presets.h"
+#include "store/mapping_store.h"
 #include "util/table.h"
 
 namespace {
@@ -22,11 +39,13 @@ class narrator final : public api::progress_observer {
 
   void on_job_done(std::size_t index,
                    const api::job_outcome& outcome) override {
-    std::printf("  [%s %s] %s in %s (wall %.2fs)\n",
+    std::printf("  [%s %s] %s in %s (wall %.2fs)%s%s\n",
                 jobs_[index].machine.label().c_str(),
                 outcome.result.tool.c_str(), outcome.result.outcome.c_str(),
                 fmt_duration_s(outcome.result.virtual_seconds).c_str(),
-                outcome.wall_seconds);
+                outcome.wall_seconds,
+                outcome.store_hit.empty() ? "" : " store_hit: ",
+                outcome.store_hit.c_str());
   }
 
  private:
@@ -35,17 +54,49 @@ class narrator final : public api::progress_observer {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dramdig;
+
+  std::string store_path;
+  std::string machines_arg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+      store_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--store=", 8) == 0) {
+      store_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--machines=", 11) == 0) {
+      machines_arg = argv[i] + 11;
+    } else {
+      std::fprintf(stderr, "usage: %s [--store <path>] [--machines=1,2]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  std::vector<int> wanted;
+  for (std::size_t at = 0; at < machines_arg.size();) {
+    const std::size_t comma = machines_arg.find(',', at);
+    const std::size_t end =
+        comma == std::string::npos ? machines_arg.size() : comma;
+    wanted.push_back(std::atoi(machines_arg.substr(at, end - at).c_str()));
+    at = end + 1;
+  }
 
   std::vector<api::job_spec> jobs;
   for (const dram::machine_spec& spec : dram::paper_machines()) {
+    if (!wanted.empty() &&
+        std::find(wanted.begin(), wanted.end(), spec.number) == wanted.end()) {
+      continue;
+    }
     jobs.push_back({spec, "dramdig", {}, /*seed=*/2026});
   }
   std::printf("uncovering %zu machines across the worker pool...\n",
               jobs.size());
   narrator progress(jobs);
-  const auto outcomes = api::mapping_service().run(jobs, &progress);
+  std::optional<store::mapping_store> store;
+  if (!store_path.empty()) store.emplace(store_path);
+  api::service_config config;
+  if (store) config.store = &*store;
+  const auto outcomes = api::mapping_service(config).run(jobs, &progress);
 
   text_table table({"No.", "Microarch.", "DRAM", "Config.", "Bank functions",
                     "Rows", "Cols", "Time", "OK"});
@@ -67,5 +118,18 @@ int main() {
   std::printf("\n%s", table.render().c_str());
   std::printf("\n(bank functions are one valid GF(2) basis; 'OK' compares "
               "span + bit sets against ground truth)\n");
-  return 0;
+  if (!store_path.empty()) {
+    // Machine-readable epilogue for the CI round-trip smoke: one line per
+    // machine that a second invocation must reproduce byte-identically.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const api::tool_result& r = outcomes[i].result;
+      std::printf("mapping %d: %s\n", jobs[i].machine.number,
+                  r.mapping ? r.mapping->describe().c_str() : "(none)");
+    }
+  }
+  bool ok = true;
+  for (const api::job_outcome& outcome : outcomes) {
+    ok = ok && outcome.result.success && outcome.result.verified;
+  }
+  return ok ? 0 : 1;
 }

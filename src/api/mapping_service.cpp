@@ -4,14 +4,219 @@
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <utility>
 
 #include "core/environment.h"
+#include "sysinfo/system_info.h"
 #include "util/expect.h"
+#include "util/gf2.h"
+#include "util/json.h"
+#include "util/log.h"
 #include "util/parallel.h"
 
 namespace dramdig::api {
 
-mapping_service::mapping_service(service_config config) : config_(config) {}
+namespace {
+
+const char* state_name(job_state s) {
+  switch (s) {
+    case job_state::pending: return "pending";
+    case job_state::running: return "running";
+    case job_state::completed: return "completed";
+    case job_state::failed: return "failed";
+    case job_state::cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+/// Build the store entry a successful recovery persists.
+store::store_entry entry_from_result(const sysinfo::machine_fingerprint& fp,
+                                     const job_spec& job,
+                                     const tool_result& result,
+                                     const char* kind,
+                                     std::vector<store::verification_event>
+                                         prior_history) {
+  store::store_entry e;
+  e.fingerprint = fp;
+  e.bank_functions = result.mapping->bank_functions();
+  e.row_bits = result.mapping->row_bits();
+  e.column_bits = result.mapping->column_bits();
+  e.address_bits = result.mapping->address_bits();
+  e.function_span = gf2::row_echelon(e.bank_functions);
+  e.pool_size = result.pool_size;
+  e.history = std::move(prior_history);
+  e.history.push_back({kind, job.seed, result.measurement_count});
+  e.evidence_digest = e.compute_evidence_digest();
+  return e;
+}
+
+/// Synthesize the tool_result of a verification-only job: the stored
+/// mapping, re-checked by designed probes instead of re-derived. The
+/// `verified` flag keeps the adapter's semantics (checked against the
+/// simulated ground truth), so a warm re-run is bit-comparable to a cold
+/// one on everything but cost.
+tool_result result_from_verification(core::environment& env,
+                                     const store::store_entry& entry,
+                                     const store::verify_report& vr) {
+  tool_result out;
+  out.tool = "dramdig";
+  out.success = true;
+  out.mapping = entry.mapping();
+  out.verified = out.mapping->equivalent_to(env.spec().mapping);
+  out.outcome = "verified";
+  out.detail = "store hit: " + std::to_string(vr.deltas_tested) +
+               " designed probes, 0 mismatches";
+  out.phases = {{"verify", vr.total_seconds, vr.total_measurements, 0}};
+  out.virtual_seconds = vr.total_seconds;
+  out.measurement_count = vr.total_measurements;
+  out.access_count = env.mach().controller().access_count();
+  out.pool_size = entry.pool_size;
+  return out;
+}
+
+}  // namespace
+
+// --- job_feed ---------------------------------------------------------------
+
+/// Max-heap order: higher priority first, then FIFO (lower ticket first).
+static constexpr auto feed_less = [](const auto& a, const auto& b) {
+  if (a.job.priority != b.job.priority) {
+    return a.job.priority < b.job.priority;
+  }
+  return a.ticket > b.ticket;
+};
+
+std::uint64_t job_feed::push(job_spec job) {
+  DRAMDIG_EXPECTS(tool_registry::global().contains(job.tool));
+  std::scoped_lock lock(mutex_);
+  if (closed_) return 0;
+  const std::uint64_t ticket = next_ticket_++;
+  heap_.push_back(item{std::move(job), ticket});
+  std::push_heap(heap_.begin(), heap_.end(), feed_less);
+  ready_.notify_one();
+  return ticket;
+}
+
+void job_feed::close() {
+  std::scoped_lock lock(mutex_);
+  closed_ = true;
+  ready_.notify_all();
+}
+
+bool job_feed::closed() const {
+  std::scoped_lock lock(mutex_);
+  return closed_;
+}
+
+std::size_t job_feed::pending() const {
+  std::scoped_lock lock(mutex_);
+  return heap_.size();
+}
+
+std::optional<job_feed::item> job_feed::pop() {
+  std::unique_lock lock(mutex_);
+  ready_.wait(lock, [this] { return closed_ || !heap_.empty(); });
+  if (heap_.empty()) return std::nullopt;
+  std::pop_heap(heap_.begin(), heap_.end(), feed_less);
+  std::optional<item> out(std::move(heap_.back()));
+  heap_.pop_back();
+  return out;
+}
+
+// --- mapping_service --------------------------------------------------------
+
+/// Store consultation verdict for one job, decided before execution.
+struct mapping_service::dispatch_plan {
+  enum class kind { none, cold, verify, warm } decision = kind::none;
+  std::optional<store::store_entry> entry;  ///< verify/warm source entry
+  sysinfo::machine_fingerprint fp;
+
+  static dispatch_plan consult(const job_spec& job,
+                               store::mapping_store* store) {
+    dispatch_plan plan;
+    if (store == nullptr || job.tool != "dramdig") return plan;
+    plan.fp = sysinfo::fingerprint(job.machine);
+    if (auto hit = store->find_exact(plan.fp)) {
+      plan.decision = kind::verify;
+      plan.entry = std::move(hit);
+    } else if (auto near = store->find_geometry(plan.fp)) {
+      plan.decision = kind::warm;
+      plan.entry = std::move(near);
+    } else {
+      plan.decision = kind::cold;
+    }
+    return plan;
+  }
+};
+
+mapping_service::mapping_service(service_config config)
+    : config_(std::move(config)) {}
+
+void mapping_service::execute_job(const job_spec& job,
+                                  const dispatch_plan& plan, job_outcome& out,
+                                  std::optional<store::store_entry>& update,
+                                  const mapping_tool::phase_hook& hook,
+                                  cancellation_token* cancel) const {
+  using kind = dispatch_plan::kind;
+  std::vector<store::verification_event> prior_history;
+  const char* record_kind = "recovered";
+  tool_options options = job.options;
+
+  if (plan.decision == kind::verify) {
+    // Exact fingerprint hit: a few hundred designed probes spot-check the
+    // stored functions instead of re-deriving them.
+    core::environment verify_env(job.machine, job.seed);
+    const store::verify_report vr =
+        store::verify_stored_mapping(verify_env, *plan.entry, config_.verify);
+    if (vr.verified) {
+      out.result = result_from_verification(verify_env, *plan.entry, vr);
+      out.state = job_state::completed;
+      out.store_hit = "verify";
+      update = *plan.entry;
+      update->history.push_back({"verified", job.seed, vr.total_measurements});
+      return;
+    }
+    // Refuted: re-queue as a full recovery. Fresh environment, no hints —
+    // the re-run is bit-identical to a cold job, and the poisoned entry
+    // is overwritten below with the verify_failed event on its record.
+    out.store_hit = "requeued";
+    prior_history = plan.entry->history;
+    prior_history.push_back(
+        {"verify_failed", job.seed, vr.total_measurements});
+    record_kind = "recovered";
+    log_warn("mapping store entry refuted (" + vr.failure_reason +
+             "); re-queued as full recovery");
+  } else if (plan.decision == kind::warm) {
+    // Geometry sibling: full recovery, warm-started from stored evidence.
+    core::dramdig_config cfg = options.dramdig();
+    core::dramdig_config::warm_hints hints;
+    hints.function_span = plan.entry->function_span;
+    hints.expected_pool = static_cast<std::size_t>(plan.entry->pool_size);
+    cfg.warm = std::move(hints);
+    options.with_dramdig(std::move(cfg));
+    out.store_hit = "warm";
+    record_kind = "warm_recovered";
+  } else if (plan.decision == kind::cold) {
+    out.store_hit = "cold";
+  }
+
+  core::environment env(job.machine, job.seed);
+  const auto tool = make_tool(job.tool, options);
+  if (cancel != nullptr) {
+    // Tools with internal abort points (DRAMA's trial loop) stop at the
+    // next boundary once the token flips; their outcome reports
+    // "aborted" and the job still completes normally.
+    tool->bind_abort([cancel] { return cancel->cancelled(); });
+  }
+  out.result = tool->run(env, hook);
+  out.state = job_state::completed;
+
+  if (plan.decision != kind::none && out.result.success &&
+      out.result.mapping) {
+    update = entry_from_result(plan.fp, job, out.result, record_kind,
+                               std::move(prior_history));
+  }
+}
 
 std::vector<job_outcome> mapping_service::run(
     const std::vector<job_spec>& jobs, progress_observer* observer,
@@ -25,6 +230,18 @@ std::vector<job_outcome> mapping_service::run(
   std::vector<job_outcome> outcomes(jobs.size());
   for (std::size_t i = 0; i < outcomes.size(); ++i) outcomes[i].index = i;
   if (jobs.empty()) return outcomes;
+
+  // Store lookups run sequentially against the state at batch entry, so a
+  // recovery completing mid-batch can never flip a sibling job from cold
+  // to verify depending on thread timing — outcome[i] stays a pure
+  // function of (jobs[i], store-at-entry). Updates apply after the batch,
+  // in submission order (daemon mode trades this for live consultation).
+  std::vector<dispatch_plan> plans;
+  plans.reserve(jobs.size());
+  for (const job_spec& job : jobs) {
+    plans.push_back(dispatch_plan::consult(job, config_.store));
+  }
+  std::vector<std::optional<store::store_entry>> updates(jobs.size());
 
   const unsigned threads =
       config_.threads == 0 ? default_shard_count() : config_.threads;
@@ -59,14 +276,6 @@ std::vector<job_outcome> mapping_service::run(
           notify([&] { observer->on_job_start(i, job); });
           const auto t0 = std::chrono::steady_clock::now();
           try {
-            core::environment env(job.machine, job.seed);
-            const auto tool = make_tool(job.tool, job.options);
-            if (cancel != nullptr) {
-              // Tools with internal abort points (DRAMA's trial loop) stop
-              // at the next boundary once the token flips; their outcome
-              // reports "aborted" and the job still completes normally.
-              tool->bind_abort([cancel] { return cancel->cancelled(); });
-            }
             mapping_tool::phase_hook hook;
             if (observer != nullptr) {
               hook = [&notify, &observer, i](std::string_view phase,
@@ -74,13 +283,13 @@ std::vector<job_outcome> mapping_service::run(
                 notify([&] { observer->on_job_phase(i, phase, delta); });
               };
             }
-            out.result = tool->run(env, hook);
-            out.state = job_state::completed;
+            execute_job(job, plans[i], out, updates[i], hook, cancel);
           } catch (const std::exception& e) {
             out.state = job_state::failed;
             out.result.tool = job.tool;
             out.result.outcome = "error";
             out.result.failure_reason = e.what();
+            updates[i].reset();
           }
           out.wall_seconds =
               std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -89,7 +298,97 @@ std::vector<job_outcome> mapping_service::run(
           notify([&] { observer->on_job_done(i, out); });
         }
       });
+
+  if (config_.store != nullptr) {
+    for (std::optional<store::store_entry>& update : updates) {
+      if (update) config_.store->put(std::move(*update));
+    }
+    try {
+      config_.store->save();
+    } catch (const std::exception& e) {
+      // Persistence is best-effort: a read-only disk costs the next run a
+      // cold start, it must not fail a batch that already computed.
+      log_warn(std::string("mapping store save failed: ") + e.what());
+    }
+  }
   return outcomes;
+}
+
+std::size_t mapping_service::serve(job_feed& feed, const result_sink& sink,
+                                   cancellation_token* cancel) const {
+  const unsigned workers =
+      config_.threads == 0 ? default_shard_count() : config_.threads;
+  std::mutex sink_mutex;
+  std::atomic<std::size_t> served{0};
+  std::atomic<std::size_t> claim_seq{0};
+
+  parallel_for_shards(workers, workers, [&](const shard&) {
+    while (std::optional<job_feed::item> item = feed.pop()) {
+      const std::size_t seq =
+          claim_seq.fetch_add(1, std::memory_order_relaxed);
+      served_outcome record{item->ticket, item->job.priority,
+                            std::move(item->job), job_outcome{}, {}};
+      record.outcome.index = seq;
+      job_outcome& out = record.outcome;
+      if (cancel != nullptr && cancel->cancelled()) {
+        out.state = job_state::cancelled;
+        out.result.tool = record.job.tool;
+        out.result.outcome = "cancelled";
+      } else {
+        const auto t0 = std::chrono::steady_clock::now();
+        // Live store consultation: a daemon's later jobs should see its
+        // earlier recoveries, so lookup happens at claim time and the
+        // update (plus save) lands before the next claim of the same
+        // fingerprint on this worker.
+        const dispatch_plan plan =
+            dispatch_plan::consult(record.job, config_.store);
+        std::optional<store::store_entry> update;
+        out.state = job_state::running;
+        try {
+          execute_job(record.job, plan, out, update, {}, cancel);
+        } catch (const std::exception& e) {
+          out.state = job_state::failed;
+          out.result.tool = record.job.tool;
+          out.result.outcome = "error";
+          out.result.failure_reason = e.what();
+          update.reset();
+        }
+        out.wall_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+        if (config_.store != nullptr && update) {
+          config_.store->put(std::move(*update));
+          try {
+            config_.store->save();
+          } catch (const std::exception& e) {
+            log_warn(std::string("mapping store save failed: ") + e.what());
+          }
+        }
+      }
+      {
+        json_writer w;
+        w.begin_object();
+        w.key("ticket").value(record.ticket);
+        w.key("priority").value(record.priority);
+        w.key("machine").value(record.job.machine.number);
+        w.key("tool").value(record.job.tool);
+        w.key("seed").value(record.job.seed);
+        w.key("state").value(state_name(out.state));
+        w.key("store_hit").value(out.store_hit);
+        w.key("wall_seconds").value(out.wall_seconds);
+        w.key("result");
+        out.result.to_json(w);
+        w.end_object();
+        record.json = w.str();
+      }
+      served.fetch_add(1, std::memory_order_relaxed);
+      if (sink) {
+        std::scoped_lock lock(sink_mutex);
+        sink(record);
+      }
+    }
+  });
+  return served.load(std::memory_order_relaxed);
 }
 
 }  // namespace dramdig::api

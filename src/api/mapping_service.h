@@ -17,13 +17,19 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "api/tool.h"
 #include "dram/presets.h"
+#include "store/mapping_store.h"
+#include "store/verify.h"
 
 namespace dramdig::api {
 
@@ -34,6 +40,10 @@ struct job_spec {
   std::string tool;       ///< registry name ("dramdig", "drama", "xiao")
   tool_options options{};
   std::uint64_t seed = 1;  ///< environment seed (machine + OS randomness)
+  /// Daemon-feed ordering only: job_feed pops higher priorities first
+  /// (FIFO within one priority). run() batches ignore it — batch results
+  /// merge by submission index regardless of execution order.
+  int priority = 0;
 };
 
 enum class job_state { pending, running, completed, failed, cancelled };
@@ -47,6 +57,16 @@ struct job_outcome {
   /// Host wall time of the run — the only non-deterministic field, which is
   /// why it lives here and not inside tool_result.
   double wall_seconds = 0.0;
+  /// Fleet-store consultation verdict for this job. Empty when no store is
+  /// configured or the tool is not "dramdig"; otherwise:
+  ///   "cold"     — no entry; full recovery ran (and seeded the store),
+  ///   "verify"   — exact fingerprint hit; a few hundred designed probes
+  ///                confirmed the stored mapping (store/verify.h),
+  ///   "warm"     — geometry-only hit; full recovery ran warm-started
+  ///                from the stored evidence,
+  ///   "requeued" — exact hit whose verification FAILED; the job re-ran
+  ///                as a full recovery and overwrote the poisoned entry.
+  std::string store_hit;
 };
 
 /// Job lifecycle events. Calls are serialized by the service (one observer
@@ -87,6 +107,59 @@ struct service_config {
   /// Worker threads; 0 means default_shard_count(). 1 reproduces a plain
   /// sequential loop exactly (the determinism tests pin this).
   unsigned threads = 0;
+  /// Fleet mapping store consulted before dispatching "dramdig" jobs (not
+  /// owned; nullptr = no store, every job runs cold with store_hit empty).
+  /// Batch semantics preserve the determinism contract: every lookup runs
+  /// against the store state at run() entry, in submission order, and all
+  /// updates apply after the batch in submission order — so outcome[i] is
+  /// still a pure function of (jobs[i], store-at-entry).
+  store::mapping_store* store = nullptr;
+  /// Verification-job tuning for exact store hits.
+  store::verify_config verify{};
+};
+
+/// Streaming job source for daemon mode: producers push prioritized specs
+/// (higher priority pops first, FIFO within a priority), consumers inside
+/// mapping_service::serve pop them as workers free up. close() ends the
+/// stream: serve() returns once the queue drains. push() after close is
+/// dropped (returns 0), so racing producers degrade instead of throwing.
+class job_feed {
+ public:
+  /// Enqueue a job (ordering key = job.priority). Returns a nonzero
+  /// ticket identifying the job in served outcomes, or 0 when the feed is
+  /// already closed and the job was dropped.
+  std::uint64_t push(job_spec job);
+  void close();
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  friend class mapping_service;
+  struct item {
+    job_spec job;
+    std::uint64_t ticket = 0;
+  };
+  /// Blocking pop of the highest-priority item; empty = closed and drained.
+  std::optional<item> pop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<item> heap_;
+  std::uint64_t next_ticket_ = 1;
+  bool closed_ = false;
+};
+
+/// One daemon-mode result, streamed to the serve() sink as soon as the
+/// job finishes (sink calls are mutex-serialized, like observers).
+struct served_outcome {
+  std::uint64_t ticket = 0;
+  int priority = 0;
+  job_spec job;
+  job_outcome outcome;  ///< index = claim sequence number (wall order)
+  /// The outcome as one self-contained JSON object ({ticket, priority,
+  /// machine, tool, seed, state, store_hit, wall_seconds, result}) — the
+  /// per-job streaming record a daemon writes to its result log.
+  std::string json;
 };
 
 class mapping_service {
@@ -96,12 +169,34 @@ class mapping_service {
   /// Execute the batch; returns one outcome per job, by submission index.
   /// Throws contract_violation up front if any spec names an unknown tool;
   /// exceptions inside a job mark that job failed without sinking the batch.
+  /// With a store configured, dramdig jobs consult it first (see
+  /// job_outcome::store_hit) and successful recoveries persist back to it
+  /// (save() failures log a warning, they never fail the batch).
   [[nodiscard]] std::vector<job_outcome> run(
       const std::vector<job_spec>& jobs,
       progress_observer* observer = nullptr,
       cancellation_token* cancel = nullptr) const;
 
+  /// Daemon mode: drain `feed` until it is closed and empty, dispatching
+  /// jobs across the persistent worker pool (util/parallel.h) as they
+  /// arrive and streaming each result to `sink`. Store consultation and
+  /// persistence happen per job against the live store (a daemon's whole
+  /// point is that later jobs see earlier recoveries), so serve() trades
+  /// run()'s batch determinism for incremental warm-starts — documented,
+  /// not accidental. Cancellation drains remaining jobs as cancelled
+  /// outcomes; the producer still owns close(). Returns jobs served.
+  using result_sink = std::function<void(const served_outcome&)>;
+  std::size_t serve(job_feed& feed, const result_sink& sink,
+                    cancellation_token* cancel = nullptr) const;
+
  private:
+  struct dispatch_plan;
+  void execute_job(const job_spec& job, const dispatch_plan& plan,
+                   job_outcome& out,
+                   std::optional<store::store_entry>& update,
+                   const mapping_tool::phase_hook& hook,
+                   cancellation_token* cancel) const;
+
   service_config config_;
 };
 

@@ -82,6 +82,7 @@ class dramdig_adapter final : public mapping_tool {
     out.measurement_count = report.total_measurements;
     out.measurements_saved = report.measurements_saved;
     out.access_count = accesses.delta();
+    out.pool_size = report.pool_size;
     return out;
   }
 
@@ -233,6 +234,7 @@ void tool_result::to_json(json_writer& w) const {
   w.key("measurement_count").value(measurement_count);
   w.key("measurements_saved").value(measurements_saved);
   w.key("access_count").value(access_count);
+  w.key("pool_size").value(pool_size);
   w.key("mapping");
   if (mapping) {
     w.begin_object();

@@ -78,9 +78,28 @@ struct tool_result {
   std::uint64_t measurement_count = 0;
   std::uint64_t measurements_saved = 0;
   std::uint64_t access_count = 0;
+  /// Selection-pool size of the run (DRAMDig only, 0 elsewhere) — the
+  /// classifier-evidence field the fleet mapping store persists so warm
+  /// starts can pre-size the measurement plan.
+  std::uint64_t pool_size = 0;
 
   /// Append this result as one JSON object (the machine-readable format
   /// every driver emits; see ROADMAP "Unified tool API" for the schema).
+  ///
+  /// Related document: the fleet mapping store (src/store/mapping_store.h)
+  /// persists a *different* schema derived from successful results —
+  ///   { "store": "dramdig-mapping-store", "version": 1, "entries": [
+  ///       { "fingerprint": {cpu_model, generation, total_bytes, channels,
+  ///                         dimms_per_channel, ranks_per_dimm,
+  ///                         banks_per_rank, ecc, hash, geometry_hash},
+  ///         "mapping": {bank_functions, row_bits, column_bits,
+  ///                     address_bits},   // numeric, not the display
+  ///                                      // strings used here
+  ///         "function_span": [...], "evidence": {digest, pool_size},
+  ///         "history": [{kind, seed, measurements}, ...] } ] }
+  /// — numeric masks/bit lists instead of this object's human-readable
+  /// renderings, because the store is read back (util/json.h json_value)
+  /// while this record is write-only telemetry.
   void to_json(json_writer& w) const;
   [[nodiscard]] std::string to_json_string() const;
 };

@@ -254,7 +254,7 @@ partition_outcome bank_classifier::representative_partition(
   const auto refresh_prediction = [&]() {
     trusted = false;
     id_to_class.clear();
-    if (classes_.empty() || want == 0) return;
+    if (want == 0) return;
     gf2::matrix diff_basis;
     for (const bank_class& c : classes_) {
       const std::uint64_t base = c.members.front();
@@ -267,8 +267,33 @@ partition_outcome bank_classifier::representative_partition(
         if (d != 0) diff_basis.push_back(d);
       }
     }
-    basis = gf2::nullspace(diff_basis, support);
-    if (basis.size() != want) return;  // too fine: the piles don't span yet
+    basis = classes_.empty() ? gf2::matrix{}
+                             : gf2::nullspace(diff_basis, support);
+    if (basis.size() != want) {
+      // Fleet warm start: while the accreted piles cannot pin the span
+      // themselves, fall back to the stored sibling span — but only while
+      // every measured same-bank difference stays orthogonal to it. Same-
+      // bank members have equal parity under every true function, so a
+      // single odd overlap proves the hint wrong for this machine and
+      // latches it off; the accreted evidence then takes over exactly as
+      // in a cold run.
+      if (warm_span_.empty() || warm_poisoned_) return;
+      gf2::matrix hint;
+      for (std::uint64_t f : warm_span_) {
+        if ((f &= support) != 0) hint.push_back(f);
+      }
+      for (const std::uint64_t d : diff_basis) {
+        for (const std::uint64_t f : hint) {
+          if (parity(d, f) != 0) {
+            warm_poisoned_ = true;
+            return;
+          }
+        }
+      }
+      hint = gf2::row_echelon(std::move(hint));
+      if (hint.size() != want) return;  // hint too thin on this pool
+      basis = std::move(hint);
+    }
     trusted = true;
     for (std::size_t i = 0; i < n; ++i) ids[i] = id_of(pool[i]);
     for (std::size_t c = 0; c < classes_.size(); ++c) {

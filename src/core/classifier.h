@@ -35,6 +35,7 @@
 
 #include "core/measurement_plan.h"
 #include "core/partition.h"
+#include "util/gf2.h"
 #include "util/rng.h"
 
 namespace dramdig::core {
@@ -95,9 +96,34 @@ class bank_classifier {
   }
   [[nodiscard]] measurement_plan& plan() noexcept { return plan_; }
 
+  /// Fleet warm start: seed the knowledge-assisted prediction with a
+  /// bank-function span recovered on a geometry sibling (the mapping
+  /// store's evidence). The representative driver consults the hint only
+  /// while the accreted pile differences cannot pin the span themselves —
+  /// so trusted prediction (predicted first votes, group-limited founder
+  /// scans) engages from round 0 instead of after several piles. Safety is
+  /// unchanged: every assignment is still measurement-verified, and the
+  /// hint is dropped permanently the moment any measured same-bank
+  /// difference contradicts it (a wrong hint costs measurements, never
+  /// purity).
+  void warm_start(gf2::matrix span_hint) {
+    warm_span_ = std::move(span_hint);
+    warm_poisoned_ = false;
+  }
+  /// True while a hint is installed and not yet contradicted.
+  [[nodiscard]] bool warm_hint_active() const noexcept {
+    return !warm_span_.empty() && !warm_poisoned_;
+  }
+
   /// Drop the class directory (pairs with measurement_plan::reset() in the
   /// pipeline's retry loop: a poisoned merge must not outlive its attempt).
-  void clear() { classes_.clear(); }
+  /// Also drops any warm-start hint: a failed attempt is exactly the
+  /// signal that imported evidence may be wrong for this machine.
+  void clear() {
+    classes_.clear();
+    warm_span_.clear();
+    warm_poisoned_ = false;
+  }
 
  private:
   [[nodiscard]] partition_outcome pivot_scan_partition(
@@ -110,6 +136,9 @@ class bank_classifier {
   measurement_plan& plan_;
   std::vector<bank_class> classes_;
   classifier_stats stats_;
+  /// Warm-start span hint (see warm_start) and its refutation latch.
+  gf2::matrix warm_span_;
+  bool warm_poisoned_ = false;
 };
 
 }  // namespace dramdig::core

@@ -78,6 +78,15 @@ dramdig_report dramdig_tool::run() {
   // re-resolves surviving classes without measurements.
   measurement_plan plan(channel, config_.plan);
   bank_classifier engine(plan);
+  // Fleet warm start: stored sibling evidence pre-sizes the plan and seeds
+  // the classifier's span prediction. Attempt retries clear() both, so a
+  // hint that failed an attempt never poisons the next one.
+  if (config_.warm) {
+    plan.warm_start(config_.warm->expected_pool);
+    if (!config_.warm->function_span.empty()) {
+      engine.warm_start(config_.warm->function_span);
+    }
+  }
   // Every phase occurrence is published through one event stream (the Fig. 2
   // decomposition): observers wired in by the mapping_service see the run
   // live; without a hook the events fall back to info-level narration.

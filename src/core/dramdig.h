@@ -28,6 +28,7 @@
 #include "core/phase.h"
 #include "dram/mapping.h"
 #include "timing/channel.h"
+#include "util/gf2.h"
 
 namespace dramdig::core {
 
@@ -48,6 +49,19 @@ struct dramdig_config {
   plan_config plan{};
   /// Partition/function-resolution retries before giving up.
   unsigned max_attempts = 3;
+  /// Fleet warm start (filled by the api layer from a mapping-store
+  /// geometry hit — see src/store). The span hint seeds the classifier's
+  /// knowledge-assisted prediction so trusted vote ordering and group
+  /// founder scans engage from round 0; the pool evidence pre-sizes the
+  /// measurement plan. Hints are advisory: every assignment is still
+  /// measurement-verified, a contradicted span is dropped mid-run, and a
+  /// failed attempt retries without them — so a wrong hint can cost
+  /// measurements but never the recovered mapping.
+  struct warm_hints {
+    gf2::matrix function_span;        ///< claimed bank-function span basis
+    std::size_t expected_pool = 0;    ///< selection-pool size evidence
+  };
+  std::optional<warm_hints> warm{};
   /// Ablation switches: without system information the tool must guess the
   /// bank count; without spec counts Step 3 cannot complete shared bits.
   bool use_system_info = true;

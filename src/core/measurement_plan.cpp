@@ -23,6 +23,18 @@ constexpr double kNoPrior = std::numeric_limits<double>::quiet_NaN();
 measurement_plan::measurement_plan(timing::channel& channel, plan_config config)
     : channel_(channel), config_(config) {}
 
+void measurement_plan::warm_start(std::size_t expected_addresses) {
+  if (expected_addresses == 0) return;
+  if (config_.use_arena_index) {
+    idx_.reserve(expected_addresses);
+  } else {
+    node_.reserve(expected_addresses);
+    witnesses_.reserve(expected_addresses);
+  }
+  root_cache_.reserve(expected_addresses);
+  root_stamp_.reserve(expected_addresses);
+}
+
 void measurement_plan::reset() {
   uf_ = union_find{};
   idx_.clear();

@@ -218,6 +218,13 @@ class measurement_plan {
     stats_.measurements_saved += measurements;
   }
 
+  /// Fleet warm start: pre-size the plan's tables for the expected number
+  /// of distinct addresses (the stored selection-pool evidence of a
+  /// geometry sibling). Purely a capacity reservation — node ids, hashing
+  /// verdicts and stats are identical with or without it — so a wrong
+  /// hint costs nothing but the reserved memory. Call before first use.
+  void warm_start(std::size_t expected_addresses);
+
   /// Drop every cached relation (classes, witnesses, strict memo) while
   /// keeping the cumulative stats. Merges are permanent by design, so a
   /// burst-window false positive that slipped past the min filter would

@@ -56,6 +56,25 @@ class plan_index {
     memo_used_ = 0;
   }
 
+  /// Pre-size for `addresses` distinct addresses (fleet warm start):
+  /// grows the record vector and slot table up front so the first batch
+  /// pays no rehash cascade. Probe results are table-size independent, so
+  /// this changes capacity only, never any observable.
+  void reserve(std::size_t addresses) {
+    records_.reserve(addresses);
+    std::size_t want = kMinSlots;
+    while ((addresses + 1) * 10 > want * 7) want <<= 1;
+    if (want > slots_.size()) {
+      slots_.assign(want, 0);
+      slot_mask_ = want - 1;
+      for (std::size_t rec = 0; rec < records_.size(); ++rec) {
+        std::size_t at = hash_addr(records_[rec].addr) & slot_mask_;
+        while (slots_[at] != 0) at = (at + 1) & slot_mask_;
+        slots_[at] = rec + 1;
+      }
+    }
+  }
+
   // --- address records ----------------------------------------------------
 
   /// Record index for `addr`, or npos when the address was never seen.

@@ -1,0 +1,258 @@
+#include "store/mapping_store.h"
+
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "util/expect.h"
+#include "util/json.h"
+#include "util/log.h"
+
+namespace dramdig::store {
+
+namespace {
+
+constexpr const char* kStoreTag = "dramdig-mapping-store";
+constexpr std::uint64_t kStoreVersion = 1;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+dram::ddr_generation generation_from(const std::string& name) {
+  if (name == "DDR3") return dram::ddr_generation::ddr3;
+  if (name == "DDR4") return dram::ddr_generation::ddr4;
+  throw json_parse_error("unknown DDR generation '" + name + "'");
+}
+
+void write_fingerprint(json_writer& w, const sysinfo::machine_fingerprint& fp) {
+  w.begin_object();
+  w.key("cpu_model").value(fp.cpu_model);
+  w.key("generation").value(to_string(fp.generation));
+  w.key("total_bytes").value(fp.total_bytes);
+  w.key("channels").value(fp.channels);
+  w.key("dimms_per_channel").value(fp.dimms_per_channel);
+  w.key("ranks_per_dimm").value(fp.ranks_per_dimm);
+  w.key("banks_per_rank").value(fp.banks_per_rank);
+  w.key("ecc").value(fp.ecc);
+  // Derived, and cross-checked on load: a bit flip anywhere in the entry's
+  // identity fields turns into a hash mismatch instead of a silent
+  // mis-keyed store.
+  w.key("hash").value(fp.hash());
+  w.key("geometry_hash").value(fp.geometry_hash());
+  w.end_object();
+}
+
+sysinfo::machine_fingerprint read_fingerprint(const json_value& v) {
+  sysinfo::machine_fingerprint fp;
+  fp.cpu_model = v.at("cpu_model").as_string();
+  fp.generation = generation_from(v.at("generation").as_string());
+  fp.total_bytes = v.at("total_bytes").as_u64();
+  fp.channels = static_cast<unsigned>(v.at("channels").as_u64());
+  fp.dimms_per_channel = static_cast<unsigned>(v.at("dimms_per_channel").as_u64());
+  fp.ranks_per_dimm = static_cast<unsigned>(v.at("ranks_per_dimm").as_u64());
+  fp.banks_per_rank = static_cast<unsigned>(v.at("banks_per_rank").as_u64());
+  fp.ecc = v.at("ecc").as_bool();
+  if (fp.hash() != v.at("hash").as_u64() ||
+      fp.geometry_hash() != v.at("geometry_hash").as_u64()) {
+    throw json_parse_error("fingerprint hash mismatch (corrupt entry?)");
+  }
+  return fp;
+}
+
+template <typename T>
+std::vector<T> read_number_array(const json_value& v) {
+  std::vector<T> out;
+  out.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out.push_back(static_cast<T>(v[i].as_u64()));
+  }
+  return out;
+}
+
+}  // namespace
+
+dram::address_mapping store_entry::mapping() const {
+  return dram::address_mapping(bank_functions, row_bits, column_bits,
+                               address_bits);
+}
+
+std::uint64_t store_entry::compute_evidence_digest() const {
+  std::ostringstream s;
+  s << "span=";
+  for (const std::uint64_t f : function_span) s << f << ",";
+  s << "|rows=";
+  for (const unsigned b : row_bits) s << b << ",";
+  s << "|cols=";
+  for (const unsigned b : column_bits) s << b << ",";
+  s << "|pool=" << pool_size;
+  return fnv1a(s.str());
+}
+
+mapping_store::mapping_store(std::string path) : path_(std::move(path)) {
+  DRAMDIG_EXPECTS(!path_.empty());
+  std::error_code ec;
+  if (!std::filesystem::exists(path_, ec)) return;
+  std::string text;
+  try {
+    text = read_file(path_);
+    load_locked(text);
+  } catch (const std::exception& e) {
+    // The degradation contract: a store the service cannot trust costs a
+    // cold run, never a crash. The broken file stays on disk untouched
+    // until the next save() rewrites it whole.
+    entries_.clear();
+    load_warning_ = "mapping store '" + path_ +
+                    "' is unreadable, starting cold: " + e.what();
+    log_warn(load_warning_);
+  }
+}
+
+void mapping_store::load_locked(const std::string& text) {
+  const json_value doc = json_value::parse(text);
+  if (doc.at("store").as_string() != kStoreTag) {
+    throw json_parse_error("not a mapping-store document");
+  }
+  if (doc.at("version").as_u64() != kStoreVersion) {
+    throw json_parse_error("unsupported store version");
+  }
+  const json_value& list = doc.at("entries");
+  std::vector<store_entry> loaded;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const json_value& e = list[i];
+    store_entry entry;
+    entry.fingerprint = read_fingerprint(e.at("fingerprint"));
+    const json_value& m = e.at("mapping");
+    entry.bank_functions = read_number_array<std::uint64_t>(m.at("bank_functions"));
+    entry.row_bits = read_number_array<unsigned>(m.at("row_bits"));
+    entry.column_bits = read_number_array<unsigned>(m.at("column_bits"));
+    entry.address_bits = static_cast<unsigned>(m.at("address_bits").as_u64());
+    entry.function_span =
+        read_number_array<std::uint64_t>(e.at("function_span"));
+    const json_value& ev = e.at("evidence");
+    entry.evidence_digest = ev.at("digest").as_u64();
+    entry.pool_size = ev.at("pool_size").as_u64();
+    const json_value& hist = e.at("history");
+    for (std::size_t h = 0; h < hist.size(); ++h) {
+      verification_event event;
+      event.kind = hist[h].at("kind").as_string();
+      event.seed = hist[h].at("seed").as_u64();
+      event.measurements = hist[h].at("measurements").as_u64();
+      entry.history.push_back(std::move(event));
+    }
+    // The mapping constructor enforces its own contracts (sorted distinct
+    // bit lists, address_bits bounds); a violation is just another way
+    // the file can be corrupt.
+    (void)entry.mapping();
+    loaded.push_back(std::move(entry));
+  }
+  entries_ = std::move(loaded);
+}
+
+std::optional<store_entry> mapping_store::find_exact(
+    const sysinfo::machine_fingerprint& fp) const {
+  const std::uint64_t h = fp.hash();
+  std::scoped_lock lock(mutex_);
+  for (const store_entry& e : entries_) {
+    if (e.fingerprint.hash() == h) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<store_entry> mapping_store::find_geometry(
+    const sysinfo::machine_fingerprint& fp) const {
+  const std::uint64_t h = fp.hash();
+  const std::uint64_t g = fp.geometry_hash();
+  std::scoped_lock lock(mutex_);
+  for (const store_entry& e : entries_) {
+    if (e.fingerprint.hash() != h && e.fingerprint.geometry_hash() == g) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+void mapping_store::put(store_entry entry) {
+  const std::uint64_t h = entry.fingerprint.hash();
+  std::scoped_lock lock(mutex_);
+  for (store_entry& e : entries_) {
+    if (e.fingerprint.hash() == h) {
+      e = std::move(entry);
+      return;
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+std::size_t mapping_store::size() const {
+  std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<store_entry> mapping_store::entries() const {
+  std::scoped_lock lock(mutex_);
+  return entries_;
+}
+
+std::string mapping_store::to_json() const {
+  std::scoped_lock lock(mutex_);
+  return to_json_locked();
+}
+
+std::string mapping_store::to_json_locked() const {
+  json_writer w;
+  w.begin_object();
+  w.key("store").value(kStoreTag);
+  w.key("version").value(kStoreVersion);
+  w.key("entries").begin_array();
+  for (const store_entry& e : entries_) {
+    w.begin_object();
+    w.key("fingerprint");
+    write_fingerprint(w, e.fingerprint);
+    w.key("mapping").begin_object();
+    w.key("bank_functions").begin_array();
+    for (const std::uint64_t f : e.bank_functions) w.value(f);
+    w.end_array();
+    w.key("row_bits").begin_array();
+    for (const unsigned b : e.row_bits) w.value(b);
+    w.end_array();
+    w.key("column_bits").begin_array();
+    for (const unsigned b : e.column_bits) w.value(b);
+    w.end_array();
+    w.key("address_bits").value(e.address_bits);
+    w.end_object();
+    w.key("function_span").begin_array();
+    for (const std::uint64_t f : e.function_span) w.value(f);
+    w.end_array();
+    w.key("evidence").begin_object();
+    w.key("digest").value(e.evidence_digest);
+    w.key("pool_size").value(e.pool_size);
+    w.end_object();
+    w.key("history").begin_array();
+    for (const verification_event& h : e.history) {
+      w.begin_object();
+      w.key("kind").value(h.kind);
+      w.key("seed").value(h.seed);
+      w.key("measurements").value(h.measurements);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void mapping_store::save() const {
+  std::scoped_lock lock(mutex_);
+  if (path_.empty()) return;
+  write_file(path_, to_json_locked());
+}
+
+}  // namespace dramdig::store

@@ -1,0 +1,137 @@
+// The fleet mapping store: persistent fingerprint -> mapping records.
+//
+// DRAMDig recovers one machine's mapping in one expensive run; a fleet
+// service meets millions of near-identical machines and should pay that
+// cost once per hardware configuration, not once per host. The store is
+// that memory: each entry keys a machine fingerprint (sysinfo — CPU model
+// plus DIMM geometry) to the recovered mapping, the bank-function span,
+// a digest of the classifier evidence that produced it, and the entry's
+// verification history. The api::mapping_service consults it before
+// dispatch: an exact fingerprint hit becomes a cheap verification job
+// (store/verify.h), a geometry-only hit warm-starts a full run, and only
+// a cold miss pays full recovery.
+//
+// On-disk format (schema also documented next to tool_result::to_json):
+//
+//   {
+//     "store": "dramdig-mapping-store",
+//     "version": 1,
+//     "entries": [
+//       {
+//         "fingerprint": { "cpu_model": ..., "generation": "DDR3",
+//                          "total_bytes": ..., "channels": ...,
+//                          "dimms_per_channel": ..., "ranks_per_dimm": ...,
+//                          "banks_per_rank": ..., "ecc": ...,
+//                          "hash": ..., "geometry_hash": ... },
+//         "mapping": { "bank_functions": [...], "row_bits": [...],
+//                      "column_bits": [...], "address_bits": ... },
+//         "function_span": [...],          // row-echelon basis of the span
+//         "evidence": { "digest": ..., "pool_size": ... },
+//         "history": [ { "kind": "recovered|verified|verify_failed|
+//                                 warm_recovered",
+//                        "seed": ..., "measurements": ... }, ... ]
+//       }, ...
+//     ]
+//   }
+//
+// The stored fingerprint hashes are recomputed and cross-checked on load;
+// any parse error, schema mismatch, or hash mismatch degrades the store
+// to empty with a logged warning — a truncated file (e.g. a crash mid
+// save) costs a cold run, never a crash.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dram/mapping.h"
+#include "sysinfo/system_info.h"
+#include "util/gf2.h"
+
+namespace dramdig::store {
+
+/// One verification-history event on a store entry.
+struct verification_event {
+  /// "recovered" (cold run), "verified" (spot-check passed),
+  /// "verify_failed" (spot-check refuted the entry), "warm_recovered"
+  /// (geometry-hit run that produced/overwrote this entry).
+  std::string kind;
+  std::uint64_t seed = 0;          ///< environment seed of the run
+  std::uint64_t measurements = 0;  ///< what the event cost
+};
+
+/// One fingerprint -> mapping record.
+struct store_entry {
+  sysinfo::machine_fingerprint fingerprint;
+  std::vector<std::uint64_t> bank_functions;
+  std::vector<unsigned> row_bits;
+  std::vector<unsigned> column_bits;
+  unsigned address_bits = 0;
+  /// Row-echelon basis of the bank-function span — the classifier's
+  /// warm-start hint (core/classifier.h warm_start).
+  gf2::matrix function_span;
+  /// FNV-1a over (span, row/column bits, pool size): lets a re-recovery
+  /// tell at a glance whether it reproduced the stored evidence.
+  std::uint64_t evidence_digest = 0;
+  /// Selection-pool size of the recovering run — pre-sizes the
+  /// measurement plan on warm starts.
+  std::uint64_t pool_size = 0;
+  std::vector<verification_event> history;
+
+  /// The stored mapping as the hypothesis type tools output.
+  [[nodiscard]] dram::address_mapping mapping() const;
+  /// Recompute evidence_digest from the current fields.
+  [[nodiscard]] std::uint64_t compute_evidence_digest() const;
+};
+
+/// Thread-safe persistent store. All lookups return copies, so a returned
+/// entry stays valid across concurrent put()s (daemon mode).
+class mapping_store {
+ public:
+  /// In-memory store; save() is a no-op until a path is attached.
+  mapping_store() = default;
+  /// Load `path` if it exists. Corrupted/truncated/unreadable content
+  /// degrades to an empty store: load_warning() carries the reason and
+  /// the file is left untouched until the next save().
+  explicit mapping_store(std::string path);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Nonempty when construction found a file it could not trust.
+  [[nodiscard]] const std::string& load_warning() const noexcept {
+    return load_warning_;
+  }
+
+  /// Exact fingerprint-hash hit: candidate for a verification-only job.
+  [[nodiscard]] std::optional<store_entry> find_exact(
+      const sysinfo::machine_fingerprint& fp) const;
+  /// Geometry-hash hit (same DIMM layout, different CPU): candidate for a
+  /// warm-started full run. Never returns an exact hit's entry twin — use
+  /// find_exact first.
+  [[nodiscard]] std::optional<store_entry> find_geometry(
+      const sysinfo::machine_fingerprint& fp) const;
+
+  /// Insert or overwrite the entry with the same fingerprint hash.
+  void put(store_entry entry);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<store_entry> entries() const;  ///< snapshot
+
+  /// Serialize the whole store (the on-disk document).
+  [[nodiscard]] std::string to_json() const;
+  /// Write to the attached path (no-op without one). Throws
+  /// std::runtime_error on I/O failure.
+  void save() const;
+
+ private:
+  [[nodiscard]] std::string to_json_locked() const;
+  void load_locked(const std::string& text);
+
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::string load_warning_;
+  std::vector<store_entry> entries_;
+};
+
+}  // namespace dramdig::store

@@ -1,0 +1,160 @@
+#include "store/verify.h"
+
+#include <bit>
+
+#include "core/measurement_plan.h"
+#include "core/probe_util.h"
+#include "sysinfo/system_info.h"
+#include "util/gf2.h"
+#include "util/log.h"
+
+namespace dramdig::store {
+
+namespace {
+
+/// Lowest probeable physical bit (cache-line offset; matches
+/// domain_knowledge::min_probe_bit).
+constexpr unsigned kMinProbeBit = 6;
+
+}  // namespace
+
+verify_report verify_stored_mapping(core::environment& env,
+                                    const store_entry& entry,
+                                    const verify_config& config) {
+  verify_report report;
+  auto& mc = env.mach().controller();
+  const std::uint64_t t0 = mc.clock().now_ns();
+  const std::uint64_t m0 = mc.measurement_count();
+  // Distinct stream from the recovery pipeline's rng, so a verification
+  // followed by a re-queued full run never correlates draws with it.
+  rng r(env.seed() ^ (config.tool_seed * 0x9e3779b97f4a7c15ull) ^
+        0xc2b2ae3d27d4eb4full);
+  timing::channel channel(mc, config.channel, r.fork());
+
+  const sysinfo::system_info info = sysinfo::probe(env.spec());
+  const os::mapping_region& buffer = env.space().map_buffer(
+      static_cast<std::uint64_t>(config.buffer_fraction *
+                                 static_cast<double>(info.total_bytes)));
+  report.threshold_ns = channel.calibrate(
+      core::sample_addresses(buffer, 1024, r));
+
+  core::measurement_plan plan(channel);
+  core::bit_probe_engine probe(plan, buffer);
+
+  const std::uint64_t addr_mask =
+      entry.address_bits >= 64 ? ~0ull
+                               : (std::uint64_t{1} << entry.address_bits) - 1;
+  const std::uint64_t support =
+      addr_mask & ~((std::uint64_t{1} << kMinProbeBit) - 1);
+  std::uint64_t row_mask = 0;
+  for (const unsigned b : entry.row_bits) row_mask |= std::uint64_t{1} << b;
+  std::uint64_t func_union = 0;
+  for (const std::uint64_t f : entry.bank_functions) func_union |= f;
+
+  std::vector<std::uint64_t> deltas;
+  std::vector<char> expect;
+  const auto add = [&](std::uint64_t d, bool e) {
+    if (d == 0) return;
+    for (const std::uint64_t seen : deltas) {
+      if (seen == d) return;
+    }
+    deltas.push_back(d);
+    expect.push_back(e ? 1 : 0);
+  };
+
+  // Positives: claimed-bank-invariant deltas that flip a claimed row bit.
+  // Start with single row bits outside every function (the cleanest
+  // claim), then null-space basis vectors for span coverage. A basis
+  // vector with no row involvement is made row-flipping by folding in a
+  // function-clean row bit — the fold keeps it inside the claimed null
+  // space, and without it the probe is blind either way (same bank, same
+  // row under the claim; different bank under a refuting truth — both
+  // read as "no conflict"). Vectors that touch the stored function bits
+  // go first: a wrong mask warps the null space precisely there.
+  // Single row bits get at most half the budget: they validate row
+  // claims but are blind to a wrong function mask, and a full budget of
+  // them would starve the span probes that do catch one.
+  unsigned positives = 0;
+  std::uint64_t clean_row = 0;
+  const unsigned row_cap = std::max(1u, config.max_positive / 2);
+  for (const unsigned b : entry.row_bits) {
+    if (b < kMinProbeBit || ((func_union >> b) & 1u) != 0) continue;
+    if (clean_row == 0) clean_row = std::uint64_t{1} << b;
+    if (positives >= row_cap) break;
+    add(std::uint64_t{1} << b, true);
+    ++positives;
+  }
+  if (!entry.bank_functions.empty()) {
+    const std::vector<std::uint64_t> basis =
+        gf2::nullspace(entry.bank_functions, support);
+    for (const int pass : {0, 1}) {
+      for (const std::uint64_t v : basis) {
+        if (positives >= config.max_positive) break;
+        if (((v & func_union) != 0) != (pass == 0)) continue;
+        std::uint64_t d = v;
+        if ((d & row_mask) == 0) {
+          if (clean_row == 0) continue;  // no way to force a row flip
+          d ^= clean_row;
+        }
+        add(d, true);
+        ++positives;
+      }
+    }
+  }
+
+  // Negatives: one single-bit delta per stored function — the bit flips
+  // that function's parity, so the bank must change — plus a bank-clean
+  // column bit (same bank, same row).
+  for (const std::uint64_t f : entry.bank_functions) {
+    const std::uint64_t bits = f & support;
+    if (bits == 0) continue;
+    add(std::uint64_t{1} << std::countr_zero(bits), false);
+  }
+  for (const unsigned b : entry.column_bits) {
+    if (b < kMinProbeBit || ((func_union >> b) & 1u) != 0) continue;
+    add(std::uint64_t{1} << b, false);
+    break;
+  }
+
+  report.deltas_designed = static_cast<unsigned>(deltas.size());
+  if (positives == 0) {
+    report.failure_reason = "no verifiable row-flip delta in stored entry";
+    report.total_seconds = mc.clock().seconds_since(t0);
+    report.total_measurements = mc.measurement_count() - m0;
+    return report;
+  }
+
+  const auto verdicts = probe.run(deltas, config.probe, r, "store.verify");
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    if (!verdicts[i].has_value()) continue;  // untestable: no evidence
+    ++report.deltas_tested;
+    if (expect[i] != 0) {
+      ++report.positives_tested;
+    } else {
+      ++report.negatives_tested;
+    }
+    if (*verdicts[i] != (expect[i] != 0)) ++report.mismatches;
+  }
+
+  report.verified =
+      report.mismatches == 0 && report.positives_tested > 0 &&
+      (entry.bank_functions.empty() || report.negatives_tested > 0);
+  if (!report.verified && report.failure_reason.empty()) {
+    report.failure_reason =
+        report.mismatches > 0
+            ? std::to_string(report.mismatches) + " of " +
+                  std::to_string(report.deltas_tested) +
+                  " designed probes contradict the stored mapping"
+            : "too few testable probes to trust the stored mapping";
+  }
+  report.total_seconds = mc.clock().seconds_since(t0);
+  report.total_measurements = mc.measurement_count() - m0;
+  log_info("store.verify: " +
+           std::string(report.verified ? "verified" : "REFUTED") + " (" +
+           std::to_string(report.deltas_tested) + " probes, " +
+           std::to_string(report.mismatches) + " mismatches, " +
+           std::to_string(report.total_measurements) + " measurements)");
+  return report;
+}
+
+}  // namespace dramdig::store

@@ -1,0 +1,74 @@
+// Incremental re-verification of a stored mapping (the store's exact-hit
+// fast path).
+//
+// A fleet machine whose fingerprint matches a store entry almost certainly
+// has the stored mapping — but "almost" is not a guarantee (BIOS updates
+// reshuffle interleaving without touching the DIMMs). Instead of paying a
+// full recovery, the verifier spends a few hundred designed probes through
+// the existing core/bit_probe engine to spot-check the stored claim:
+//
+//   * positive deltas — vectors in the null space of the stored bank
+//     functions that flip at least one claimed row bit. If the claim is
+//     right, such a delta changes the row but not the bank: SBDR must
+//     vote true.
+//   * negative deltas — one single-bit delta per stored function (the bit
+//     flips that function's parity, so the bank must change) plus a
+//     bank-clean column bit (same bank, same row): SBDR must vote false.
+//
+// A wrong stored mask fails both ways: its claimed null space leaks into
+// a true function (positives vote false), and its claimed function bits
+// land on true row bits (negatives vote true). Any mismatch refutes the
+// entry and the service re-queues the job as a full recovery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/bit_probe.h"
+#include "core/environment.h"
+#include "store/mapping_store.h"
+#include "timing/channel.h"
+
+namespace dramdig::store {
+
+struct verify_config {
+  /// Fraction of installed memory mapped for probe pairs (same default as
+  /// the recovery pipeline, so high row-bit deltas stay testable).
+  double buffer_fraction = 0.55;
+  /// Calibration budget deliberately lighter than a recovery run: the
+  /// verifier only needs a usable threshold, and calibration dominates a
+  /// few-hundred-measurement job. These numbers keep a whole verification
+  /// under 20% of a cold recovery (the fleet_warm_start bench floor).
+  timing::channel_config channel{.rounds_per_measurement = 1000,
+                                 .samples_per_latency = 3,
+                                 .calibration_pairs = 160,
+                                 .calibration_min_pairs = 60,
+                                 .calibration_chunk = 30};
+  core::probe_config probe{.votes = 5};
+  /// Cap on positive (row-flip) deltas designed from the null space.
+  unsigned max_positive = 8;
+  std::uint64_t tool_seed = 1;
+};
+
+struct verify_report {
+  bool verified = false;
+  unsigned deltas_designed = 0;
+  unsigned deltas_tested = 0;  ///< designed minus untestable
+  unsigned positives_tested = 0;
+  unsigned negatives_tested = 0;
+  unsigned mismatches = 0;
+  std::string failure_reason;  ///< empty when verified
+  double threshold_ns = 0.0;
+  double total_seconds = 0.0;  ///< virtual time of the whole job
+  std::uint64_t total_measurements = 0;
+};
+
+/// Spot-check `entry` against the machine behind `env`. Purely additive on
+/// the environment (maps its own buffer); a verification followed by a
+/// full recovery on verify failure uses a fresh environment so the
+/// recovery stays bit-identical to a cold run.
+[[nodiscard]] verify_report verify_stored_mapping(
+    core::environment& env, const store_entry& entry,
+    const verify_config& config = {});
+
+}  // namespace dramdig::store

@@ -39,7 +39,56 @@ bool scan_int_after(const std::string& text, const std::string& key,
   return true;
 }
 
+/// FNV-1a 64-bit: tiny, dependency-free, and stable across platforms —
+/// the store file format pins these hashes, so the function can never
+/// change without a schema version bump.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace
+
+std::string machine_fingerprint::canonical() const {
+  return "cpu=" + cpu_model + "|" + geometry_canonical();
+}
+
+std::string machine_fingerprint::geometry_canonical() const {
+  std::ostringstream out;
+  out << "gen=" << to_string(generation) << "|bytes=" << total_bytes
+      << "|channels=" << channels << "|dimms=" << dimms_per_channel
+      << "|ranks=" << ranks_per_dimm << "|banks=" << banks_per_rank
+      << "|ecc=" << (ecc ? 1 : 0);
+  return out.str();
+}
+
+std::uint64_t machine_fingerprint::hash() const { return fnv1a(canonical()); }
+
+std::uint64_t machine_fingerprint::geometry_hash() const {
+  return fnv1a(geometry_canonical());
+}
+
+machine_fingerprint fingerprint(const system_info& info,
+                                const std::string& cpu_model) {
+  machine_fingerprint fp;
+  fp.cpu_model = cpu_model;
+  fp.generation = info.generation;
+  fp.total_bytes = info.total_bytes;
+  fp.channels = info.channels;
+  fp.dimms_per_channel = info.dimms_per_channel;
+  fp.ranks_per_dimm = info.ranks_per_dimm;
+  fp.banks_per_rank = info.banks_per_rank;
+  fp.ecc = info.ecc;
+  return fp;
+}
+
+machine_fingerprint fingerprint(const dram::machine_spec& m) {
+  return fingerprint(probe(m), m.cpu_model);
+}
 
 std::string render_dmidecode(const dram::machine_spec& m) {
   std::ostringstream out;

@@ -32,6 +32,50 @@ struct system_info {
   }
 };
 
+/// Canonical machine identity for the fleet mapping store (src/store).
+///
+/// Two machines with the same fingerprint are expected to share an address
+/// mapping: the fields are exactly the mapping-relevant ones a tool can
+/// read without a timing channel (CPU model plus the DIMM geometry and ECC
+/// flag from the dmidecode/decode-dimms reports). Deliberately excluded:
+/// the paper's machine number, microarchitecture label, vulnerability
+/// profile and timing-quality knobs — none of them changes the mapping,
+/// and the stability tests perturb them to prove the hash ignores them.
+struct machine_fingerprint {
+  std::string cpu_model;
+  dram::ddr_generation generation = dram::ddr_generation::ddr3;
+  std::uint64_t total_bytes = 0;
+  unsigned channels = 0;
+  unsigned dimms_per_channel = 0;
+  unsigned ranks_per_dimm = 0;
+  unsigned banks_per_rank = 0;
+  bool ecc = false;
+
+  /// Fixed-field-order `key=value|...` serialization — the hash input, so
+  /// source-report field order can never leak into the identity.
+  [[nodiscard]] std::string canonical() const;
+  /// canonical() without the CPU model: the fleet-family key. Machines
+  /// that share DIMM geometry but not a CPU get a warm start (stored
+  /// evidence seeds the run) instead of a verification-only job.
+  [[nodiscard]] std::string geometry_canonical() const;
+  /// Stable FNV-1a over canonical(); the store's exact-hit key.
+  [[nodiscard]] std::uint64_t hash() const;
+  /// Stable FNV-1a over geometry_canonical(); the store's partial-hit key.
+  [[nodiscard]] std::uint64_t geometry_hash() const;
+
+  friend bool operator==(const machine_fingerprint&,
+                         const machine_fingerprint&) = default;
+};
+
+/// Fingerprint from a probed system_info plus the CPU model string (the
+/// one identity field the memory reports do not carry).
+[[nodiscard]] machine_fingerprint fingerprint(const system_info& info,
+                                              const std::string& cpu_model);
+
+/// Fingerprint of a machine spec, via the same rendered-report round trip
+/// the tools use — so a spec and its probed info can never disagree.
+[[nodiscard]] machine_fingerprint fingerprint(const dram::machine_spec& m);
+
 /// Render the `dmidecode --type memory` style report a machine would give.
 [[nodiscard]] std::string render_dmidecode(const dram::machine_spec& m);
 

@@ -1,18 +1,25 @@
-// Minimal JSON emission for the benchmark harnesses.
+// Minimal JSON emission and parsing.
 //
 // Every bench binary writes a machine-readable BENCH_*.json next to its
 // ASCII tables so the perf trajectory (wall time, virtual-clock time,
-// access/measurement counts) can be tracked across PRs by CI without
-// scraping stdout. Emission only — the project never parses JSON — so a
-// small append-style writer with automatic comma/indent management is all
-// that is needed.
+// access/measurement counts) can be tracked across PRs by CI, via a small
+// append-style writer with automatic comma/indent management. The fleet
+// mapping store (src/store) also *reads* its files back, so the header
+// pairs the writer with `json_value`: a strict recursive-descent parser
+// whose round-trip guarantee the store relies on — anything json_writer
+// emits parses back to the same values (numbers are kept as their source
+// token, so a uint64 hash survives exactly), and malformed or truncated
+// input throws json_parse_error instead of yielding a partial tree.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/expect.h"
@@ -136,5 +143,64 @@ class json_writer {
 
 /// Write `contents` to `path`, replacing any previous file.
 void write_file(const std::string& path, const std::string& contents);
+
+/// Whole file as a string. Throws std::runtime_error when unreadable.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+/// Thrown by json_value::parse on malformed, truncated, or trailing-garbage
+/// input; what() carries the byte offset of the failure.
+class json_parse_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An immutable parsed JSON document node.
+///
+/// Numbers keep their source token and convert on demand (as_double /
+/// as_u64 / as_i64), so 64-bit integers — the store's fingerprint hashes
+/// and XOR masks — round-trip exactly instead of through a double.
+/// Object members preserve document order. Accessors throw
+/// contract_violation when the node has the wrong kind.
+class json_value {
+ public:
+  enum class kind { null, boolean, number, string, array, object };
+  using member_list = std::vector<std::pair<std::string, json_value>>;
+
+  /// Parse a complete document (one value, optional surrounding
+  /// whitespace, nothing after it). Throws json_parse_error otherwise.
+  [[nodiscard]] static json_value parse(std::string_view text);
+
+  json_value() = default;  ///< null
+
+  [[nodiscard]] kind type() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == kind::null; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] std::int64_t as_i64() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Element count (array or object).
+  [[nodiscard]] std::size_t size() const;
+  /// Array element by index.
+  [[nodiscard]] const json_value& operator[](std::size_t i) const;
+  /// Object member by key, or nullptr when absent (first match wins).
+  [[nodiscard]] const json_value* find(std::string_view key) const;
+  /// Object member by key; throws json_parse_error when absent, so store
+  /// loaders report a missing field like any other malformed document.
+  [[nodiscard]] const json_value& at(std::string_view key) const;
+  /// Object members in document order.
+  [[nodiscard]] const member_list& members() const;
+
+ private:
+  kind kind_ = kind::null;
+  bool bool_ = false;
+  std::string scalar_;  ///< string payload, or the number's source token
+  std::vector<json_value> items_;
+  member_list members_;
+
+  friend class json_parser;
+};
 
 }  // namespace dramdig

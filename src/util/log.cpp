@@ -10,6 +10,7 @@ log_level g_level = log_level::off;
 const char* prefix(log_level level) {
   switch (level) {
     case log_level::error: return "[error] ";
+    case log_level::warn: return "[warn ] ";
     case log_level::info: return "[info ] ";
     case log_level::debug: return "[debug] ";
     case log_level::off: break;

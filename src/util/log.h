@@ -7,7 +7,7 @@
 
 namespace dramdig {
 
-enum class log_level { off = 0, error = 1, info = 2, debug = 3 };
+enum class log_level { off = 0, error = 1, warn = 2, info = 3, debug = 4 };
 
 /// Global verbosity; defaults to off so library users opt in.
 void set_log_level(log_level level);
@@ -23,6 +23,11 @@ inline void log_debug(const std::string& message) {
 }
 inline void log_error(const std::string& message) {
   log_line(log_level::error, message);
+}
+/// Degradations that change behavior without failing it — e.g. a corrupt
+/// mapping store falling back to a cold run.
+inline void log_warn(const std::string& message) {
+  log_line(log_level::warn, message);
 }
 
 }  // namespace dramdig

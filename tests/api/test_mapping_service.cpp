@@ -15,7 +15,11 @@
 #include "core/dramdig.h"
 #include "core/environment.h"
 #include "dram/presets.h"
+#include "store/mapping_store.h"
+#include "sysinfo/system_info.h"
 #include "util/expect.h"
+#include "util/gf2.h"
+#include "util/json.h"
 
 namespace dramdig::api {
 namespace {
@@ -325,6 +329,225 @@ TEST(MappingService, CancellationStopsPendingJobsOnly) {
   const auto reference =
       mapping_service({.threads = 1}).run({jobs.front()});
   EXPECT_EQ(outcome_key(outcomes[0]), outcome_key(reference[0]));
+}
+
+// --- fleet mapping store integration ----------------------------------------
+
+/// One dramdig job for a machine, seed pinned so results compare exactly.
+job_spec fleet_job(const dram::machine_spec& machine,
+                   std::uint64_t seed = 42) {
+  return {machine, "dramdig", {}, seed};
+}
+
+TEST(MappingServiceStore, ColdRunSeedsStoreSecondRunVerifies) {
+  store::mapping_store store;
+  mapping_service service({.threads = 1, .store = &store});
+  const dram::machine_spec& m = dram::machine_by_number(1);
+
+  const auto cold = service.run({fleet_job(m)});
+  ASSERT_EQ(cold[0].state, job_state::completed);
+  EXPECT_EQ(cold[0].store_hit, "cold");
+  EXPECT_TRUE(cold[0].result.verified);
+  ASSERT_EQ(store.size(), 1u);
+
+  const auto warm = service.run({fleet_job(m)});
+  ASSERT_EQ(warm[0].state, job_state::completed);
+  EXPECT_EQ(warm[0].store_hit, "verify");
+  EXPECT_TRUE(warm[0].result.success);
+  EXPECT_TRUE(warm[0].result.verified);
+  EXPECT_EQ(warm[0].result.outcome, "verified");
+  // Bit-identical mapping at a fraction of the cost: the acceptance
+  // criterion pins >=80% fewer measurements on verification-only hits.
+  ASSERT_TRUE(cold[0].result.mapping && warm[0].result.mapping);
+  EXPECT_EQ(warm[0].result.mapping->describe(),
+            cold[0].result.mapping->describe());
+  EXPECT_LE(warm[0].result.measurement_count,
+            cold[0].result.measurement_count / 5);
+  // The entry's history now records the confirmation.
+  const auto entry = store.find_exact(sysinfo::fingerprint(m));
+  ASSERT_TRUE(entry);
+  ASSERT_EQ(entry->history.size(), 2u);
+  EXPECT_EQ(entry->history[0].kind, "recovered");
+  EXPECT_EQ(entry->history[1].kind, "verified");
+}
+
+TEST(MappingServiceStore, PoisonedEntryRequeuesAsFullRecoveryAndOverwrites) {
+  const dram::machine_spec& m = dram::machine_by_number(1);
+  store::mapping_store store;
+  // Seed the store with a poisoned entry: right fingerprint, one wrong
+  // bank-function mask.
+  {
+    mapping_service seeder({.threads = 1, .store = &store});
+    (void)seeder.run({fleet_job(m)});
+    auto entry = *store.find_exact(sysinfo::fingerprint(m));
+    entry.bank_functions.back() = (1ull << 20) ^ (1ull << 24);
+    entry.function_span = gf2::row_echelon(entry.bank_functions);
+    entry.evidence_digest = entry.compute_evidence_digest();
+    store.put(std::move(entry));
+  }
+
+  mapping_service service({.threads = 1, .store = &store});
+  const auto outcomes = service.run({fleet_job(m)});
+  ASSERT_EQ(outcomes[0].state, job_state::completed);
+  EXPECT_EQ(outcomes[0].store_hit, "requeued");
+  EXPECT_TRUE(outcomes[0].result.verified);
+
+  // The re-run is bit-identical to a storeless cold run (fresh
+  // environment, no hints), and the poisoned entry is overwritten with
+  // the true functions plus an audit trail of the refutation.
+  const auto reference = mapping_service({.threads = 1}).run({fleet_job(m)});
+  EXPECT_EQ(outcomes[0].result.to_json_string(),
+            reference[0].result.to_json_string());
+  const auto entry = store.find_exact(sysinfo::fingerprint(m));
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->bank_functions, reference[0].result.mapping->bank_functions());
+  ASSERT_GE(entry->history.size(), 2u);
+  EXPECT_EQ(entry->history[entry->history.size() - 2].kind, "verify_failed");
+  EXPECT_EQ(entry->history.back().kind, "recovered");
+}
+
+TEST(MappingServiceStore, GeometrySiblingWarmStartsFullRecovery) {
+  const dram::machine_spec& m = dram::machine_by_number(1);
+  store::mapping_store store;
+  mapping_service service({.threads = 1, .store = &store});
+  (void)service.run({fleet_job(m)});
+
+  dram::machine_spec sibling = m;
+  sibling.cpu_model = "i5-2500";  // same board geometry, different CPU
+  const auto outcomes = service.run({fleet_job(sibling)});
+  ASSERT_EQ(outcomes[0].state, job_state::completed);
+  EXPECT_EQ(outcomes[0].store_hit, "warm");
+  EXPECT_TRUE(outcomes[0].result.success);
+  EXPECT_TRUE(outcomes[0].result.verified);
+  // The sibling's recovery lands as its own entry.
+  EXPECT_EQ(store.size(), 2u);
+  const auto entry = store.find_exact(sysinfo::fingerprint(sibling));
+  ASSERT_TRUE(entry);
+  ASSERT_EQ(entry->history.size(), 1u);
+  EXPECT_EQ(entry->history[0].kind, "warm_recovered");
+}
+
+TEST(MappingServiceStore, NonDramdigJobsBypassTheStore) {
+  store::mapping_store store;
+  mapping_service service({.threads = 1, .store = &store});
+  const auto outcomes = service.run(
+      {{dram::machine_by_number(1), "drama",
+        tool_options{}.with_drama(fast_drama()), 5}});
+  ASSERT_EQ(outcomes[0].state, job_state::completed);
+  EXPECT_TRUE(outcomes[0].store_hit.empty());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(MappingServiceStore, BatchLookupsSnapshotStoreAtEntry) {
+  // Two jobs for the same machine in ONE batch: both must plan cold (the
+  // store is consulted at run() entry, so outcome[i] cannot depend on a
+  // sibling job finishing first), and the post-batch updates collapse to
+  // one entry.
+  const dram::machine_spec& m = dram::machine_by_number(1);
+  store::mapping_store store;
+  mapping_service service({.threads = 2, .store = &store});
+  const auto outcomes = service.run({fleet_job(m), fleet_job(m)});
+  EXPECT_EQ(outcomes[0].store_hit, "cold");
+  EXPECT_EQ(outcomes[1].store_hit, "cold");
+  EXPECT_EQ(outcomes[0].result.to_json_string(),
+            outcomes[1].result.to_json_string());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+// --- daemon mode -------------------------------------------------------------
+
+TEST(JobFeed, PopsByPriorityThenFifo) {
+  job_feed feed;
+  const auto t_low = feed.push({dram::machine_by_number(1), "dramdig", {}, 1,
+                                /*priority=*/0});
+  const auto t_hi1 = feed.push({dram::machine_by_number(2), "dramdig", {}, 2,
+                                /*priority=*/5});
+  const auto t_hi2 = feed.push({dram::machine_by_number(3), "dramdig", {}, 3,
+                                /*priority=*/5});
+  const auto t_mid = feed.push({dram::machine_by_number(4), "dramdig", {}, 4,
+                                /*priority=*/2});
+  EXPECT_EQ(feed.pending(), 4u);
+  feed.close();
+  // Tickets are nonzero and unique.
+  EXPECT_NE(t_low, 0u);
+  std::vector<std::uint64_t> served_tickets;
+  mapping_service service({.threads = 1});
+  const std::size_t n = service.serve(feed, [&](const served_outcome& out) {
+    served_tickets.push_back(out.ticket);
+  });
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(feed.pending(), 0u);
+  // Highest priority first; equal priorities keep submission order.
+  EXPECT_EQ(served_tickets,
+            (std::vector<std::uint64_t>{t_hi1, t_hi2, t_mid, t_low}));
+}
+
+TEST(JobFeed, PushAfterCloseIsDropped) {
+  job_feed feed;
+  feed.close();
+  EXPECT_TRUE(feed.closed());
+  EXPECT_EQ(feed.push({dram::machine_by_number(1), "dramdig", {}, 1}), 0u);
+  EXPECT_EQ(feed.pending(), 0u);
+  // A serve() on the closed, empty feed returns immediately with nothing.
+  mapping_service service({.threads = 1});
+  EXPECT_EQ(service.serve(feed, {}), 0u);
+}
+
+TEST(MappingServiceServe, StreamsJsonRecordsAndWarmStartsLive) {
+  // Daemon mode consults the LIVE store: with one worker, the second job
+  // for the same machine (queued before serve even starts) must see the
+  // first job's recovery and become a verification-only hit — the
+  // incremental warm start run() deliberately forgoes.
+  const dram::machine_spec& m = dram::machine_by_number(1);
+  store::mapping_store store;
+  mapping_service service({.threads = 1, .store = &store});
+  job_feed feed;
+  (void)feed.push(fleet_job(m));
+  (void)feed.push(fleet_job(m));
+  feed.close();
+
+  std::vector<served_outcome> records;
+  const std::size_t n = service.serve(
+      feed, [&](const served_outcome& out) { records.push_back(out); });
+  ASSERT_EQ(n, 2u);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].outcome.store_hit, "cold");
+  EXPECT_EQ(records[1].outcome.store_hit, "verify");
+  EXPECT_EQ(records[0].outcome.result.mapping->describe(),
+            records[1].outcome.result.mapping->describe());
+
+  // Each streamed record is one parseable, self-contained JSON object.
+  for (const served_outcome& record : records) {
+    const json_value doc = json_value::parse(record.json);
+    EXPECT_EQ(doc.at("ticket").as_u64(), record.ticket);
+    EXPECT_EQ(doc.at("machine").as_i64(), m.number);
+    EXPECT_EQ(doc.at("tool").as_string(), "dramdig");
+    EXPECT_EQ(doc.at("state").as_string(), "completed");
+    EXPECT_EQ(doc.at("store_hit").as_string(), record.outcome.store_hit);
+    EXPECT_TRUE(doc.at("result").at("success").as_bool());
+  }
+}
+
+TEST(MappingServiceServe, CancellationDrainsRemainingJobsAsCancelled) {
+  store::mapping_store store;
+  mapping_service service({.threads = 1, .store = &store});
+  job_feed feed;
+  for (std::uint64_t seed : {42u, 43u, 44u}) {
+    (void)feed.push(fleet_job(dram::machine_by_number(1), seed));
+  }
+  feed.close();
+  cancellation_token cancel;
+  cancel.cancel();  // flipped before serve: every job drains cancelled
+  std::vector<served_outcome> records;
+  const std::size_t n = service.serve(
+      feed, [&](const served_outcome& out) { records.push_back(out); },
+      &cancel);
+  EXPECT_EQ(n, 3u);
+  for (const served_outcome& record : records) {
+    EXPECT_EQ(record.outcome.state, job_state::cancelled);
+    EXPECT_EQ(record.outcome.result.outcome, "cancelled");
+  }
+  EXPECT_EQ(store.size(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,259 @@
+// The persistent fingerprint -> mapping store: JSON round-trips, exact and
+// geometry lookups, upserts, and the degradation contract — a corrupted or
+// truncated store file must cost a cold run (empty store + logged warning),
+// never a crash.
+#include "store/mapping_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "core/environment.h"
+#include "dram/presets.h"
+#include "store/verify.h"
+#include "sysinfo/system_info.h"
+#include "util/gf2.h"
+#include "util/json.h"
+
+namespace dramdig::store {
+namespace {
+
+/// A unique temp path per test; removed on destruction.
+class temp_path {
+ public:
+  explicit temp_path(const std::string& name)
+      : path_(testing::TempDir() + "dramdig_store_" + name + ".json") {
+    std::remove(path_.c_str());
+  }
+  ~temp_path() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A store entry derived from a paper machine's ground truth (as if a cold
+/// recovery had just produced it).
+store_entry entry_for(int machine_number, std::uint64_t seed = 42) {
+  const dram::machine_spec& m = dram::machine_by_number(machine_number);
+  store_entry e;
+  e.fingerprint = sysinfo::fingerprint(m);
+  e.bank_functions = m.mapping.bank_functions();
+  e.row_bits = m.mapping.row_bits();
+  e.column_bits = m.mapping.column_bits();
+  e.address_bits = m.mapping.address_bits();
+  e.function_span = gf2::row_echelon(e.bank_functions);
+  e.pool_size = 4096;
+  e.history.push_back({"recovered", seed, 2348});
+  e.evidence_digest = e.compute_evidence_digest();
+  return e;
+}
+
+TEST(MappingStore, StartsEmptyInMemory) {
+  const mapping_store store;
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.path().empty());
+  EXPECT_TRUE(store.load_warning().empty());
+  EXPECT_FALSE(
+      store.find_exact(sysinfo::fingerprint(dram::machine_by_number(1))));
+}
+
+TEST(MappingStore, PutFindExact) {
+  mapping_store store;
+  store.put(entry_for(1));
+  store.put(entry_for(6));
+  EXPECT_EQ(store.size(), 2u);
+  const auto hit =
+      store.find_exact(sysinfo::fingerprint(dram::machine_by_number(1)));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->bank_functions,
+            dram::machine_by_number(1).mapping.bank_functions());
+  EXPECT_EQ(hit->history.size(), 1u);
+  EXPECT_EQ(hit->history[0].kind, "recovered");
+  EXPECT_FALSE(
+      store.find_exact(sysinfo::fingerprint(dram::machine_by_number(2))));
+}
+
+TEST(MappingStore, UpsertOverwritesSameFingerprint) {
+  mapping_store store;
+  store.put(entry_for(1, 42));
+  store_entry updated = entry_for(1, 43);
+  updated.history.push_back({"verified", 43, 700});
+  store.put(updated);
+  EXPECT_EQ(store.size(), 1u);
+  const auto hit =
+      store.find_exact(sysinfo::fingerprint(dram::machine_by_number(1)));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->history.size(), 2u);
+  EXPECT_EQ(hit->history[1].kind, "verified");
+}
+
+TEST(MappingStore, FindGeometryMatchesSiblingNotSelf) {
+  mapping_store store;
+  store.put(entry_for(1));
+  // Same board, different CPU bin: geometry hit, not an exact hit.
+  dram::machine_spec sibling = dram::machine_by_number(1);
+  sibling.cpu_model = "i5-2500";
+  const auto fp = sysinfo::fingerprint(sibling);
+  EXPECT_FALSE(store.find_exact(fp));
+  const auto near = store.find_geometry(fp);
+  ASSERT_TRUE(near);
+  EXPECT_EQ(near->fingerprint.cpu_model, "i5-2400");
+  // The entry's own fingerprint is an exact twin, never a geometry hit.
+  EXPECT_FALSE(
+      store.find_geometry(sysinfo::fingerprint(dram::machine_by_number(1))));
+}
+
+TEST(MappingStore, RoundTripsThroughDisk) {
+  temp_path path("roundtrip");
+  {
+    mapping_store store(path.str());
+    EXPECT_TRUE(store.load_warning().empty());  // absent file = cold, no fuss
+    for (int n : {1, 5, 6}) store.put(entry_for(n));
+    store.save();
+  }
+  mapping_store reloaded(path.str());
+  EXPECT_TRUE(reloaded.load_warning().empty());
+  ASSERT_EQ(reloaded.size(), 3u);
+  for (int n : {1, 5, 6}) {
+    const dram::machine_spec& m = dram::machine_by_number(n);
+    const auto hit = reloaded.find_exact(sysinfo::fingerprint(m));
+    ASSERT_TRUE(hit) << m.label();
+    EXPECT_EQ(hit->bank_functions, m.mapping.bank_functions());
+    EXPECT_EQ(hit->row_bits, m.mapping.row_bits());
+    EXPECT_EQ(hit->column_bits, m.mapping.column_bits());
+    EXPECT_EQ(hit->address_bits, m.mapping.address_bits());
+    EXPECT_EQ(hit->pool_size, 4096u);
+    EXPECT_EQ(hit->evidence_digest, hit->compute_evidence_digest());
+    ASSERT_EQ(hit->history.size(), 1u);
+    EXPECT_EQ(hit->history[0].measurements, 2348u);
+    // The reloaded mapping reconstructs as a valid hypothesis equal to
+    // the one stored.
+    EXPECT_TRUE(hit->mapping().equivalent_to(m.mapping));
+  }
+}
+
+TEST(MappingStore, SerializedFormIsStableAcrossReload) {
+  temp_path path("stable");
+  mapping_store store(path.str());
+  store.put(entry_for(2));
+  store.save();
+  const std::string first = store.to_json();
+  const mapping_store reloaded(path.str());
+  EXPECT_EQ(reloaded.to_json(), first);
+}
+
+TEST(MappingStore, TruncatedFileDegradesToColdWithWarning) {
+  temp_path path("truncated");
+  {
+    mapping_store store(path.str());
+    store.put(entry_for(1));
+    store.save();
+  }
+  const std::string full = read_file(path.str());
+  // Every byte-truncation of a saved store must load as empty-with-warning
+  // (sampled stride keeps the test fast; the JSON prefix property is
+  // exhaustively covered in tests/util/test_json.cpp).
+  for (std::size_t len = 0; len < full.size(); len += 97) {
+    write_file(path.str(), full.substr(0, len));
+    const mapping_store store(path.str());
+    EXPECT_EQ(store.size(), 0u) << "prefix length " << len;
+    if (len > 0) {
+      EXPECT_FALSE(store.load_warning().empty()) << "prefix length " << len;
+    }
+    // The broken file stays on disk untouched until the next save().
+    EXPECT_EQ(read_file(path.str()).size(), len);
+  }
+}
+
+TEST(MappingStore, GarbageFileDegradesToCold) {
+  temp_path path("garbage");
+  write_file(path.str(), "not json at all {{{");
+  const mapping_store store(path.str());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.load_warning().empty());
+}
+
+TEST(MappingStore, WrongTagOrVersionDegradesToCold) {
+  temp_path path("tag");
+  write_file(path.str(),
+             R"({"store": "something-else", "version": 1, "entries": []})");
+  EXPECT_EQ(mapping_store(path.str()).size(), 0u);
+  write_file(
+      path.str(),
+      R"({"store": "dramdig-mapping-store", "version": 999, "entries": []})");
+  const mapping_store store(path.str());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.load_warning().empty());
+}
+
+TEST(MappingStore, TamperedHashDegradesToCold) {
+  temp_path path("tampered");
+  {
+    mapping_store store(path.str());
+    store.put(entry_for(1));
+    store.save();
+  }
+  // Flip the stored fingerprint hash: the loader recomputes and must
+  // refuse the whole file rather than trust a mislabeled entry.
+  std::string doc = read_file(path.str());
+  const std::string key = "\"hash\": ";
+  const std::size_t at = doc.find(key);
+  ASSERT_NE(at, std::string::npos);
+  doc[at + key.size()] = doc[at + key.size()] == '1' ? '2' : '1';
+  write_file(path.str(), doc);
+  const mapping_store store(path.str());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.load_warning().empty());
+}
+
+TEST(MappingStore, SaveWithoutPathIsNoOp) {
+  mapping_store store;
+  store.put(entry_for(1));
+  EXPECT_NO_THROW(store.save());
+}
+
+TEST(StoreVerify, ConfirmsTruthfulEntry) {
+  const dram::machine_spec& m = dram::machine_by_number(1);
+  core::environment env(m, 42);
+  const verify_report report = verify_stored_mapping(env, entry_for(1));
+  EXPECT_TRUE(report.verified) << report.failure_reason;
+  EXPECT_EQ(report.mismatches, 0u);
+  EXPECT_GT(report.positives_tested, 0u);
+  EXPECT_GT(report.negatives_tested, 0u);
+  EXPECT_GT(report.total_measurements, 0u);
+}
+
+TEST(StoreVerify, RefutesPoisonedMask) {
+  const dram::machine_spec& m = dram::machine_by_number(1);
+  store_entry poisoned = entry_for(1);
+  // Replace one stored function with a wrong mask (a row bit pair the
+  // real controller does not XOR into any bank bit).
+  poisoned.bank_functions.back() = (1ull << 20) ^ (1ull << 24);
+  poisoned.function_span = gf2::row_echelon(poisoned.bank_functions);
+  core::environment env(m, 42);
+  const verify_report report = verify_stored_mapping(env, poisoned);
+  EXPECT_FALSE(report.verified);
+  EXPECT_FALSE(report.failure_reason.empty());
+}
+
+TEST(StoreVerify, RefutesWrongRowBits) {
+  const dram::machine_spec& m = dram::machine_by_number(1);
+  store_entry wrong = entry_for(1);
+  // Claim a column bit is a row bit: flipping it alone cannot change the
+  // row, so the positive probes must catch the lie.
+  wrong.row_bits = m.mapping.row_bits();
+  wrong.column_bits = m.mapping.column_bits();
+  std::swap(wrong.row_bits.front(), wrong.column_bits.back());
+  std::sort(wrong.row_bits.begin(), wrong.row_bits.end());
+  std::sort(wrong.column_bits.begin(), wrong.column_bits.end());
+  core::environment env(m, 42);
+  const verify_report report = verify_stored_mapping(env, wrong);
+  EXPECT_FALSE(report.verified);
+}
+
+}  // namespace
+}  // namespace dramdig::store

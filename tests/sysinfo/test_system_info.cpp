@@ -85,5 +85,92 @@ TEST(Sysinfo, TotalBanksProduct) {
   EXPECT_EQ(info.total_banks(), 64u);
 }
 
+// --- machine fingerprints (the fleet store's lookup key) --------------------
+
+TEST(Fingerprint, SameSpecIsIdentical) {
+  const auto& m = dram::machine_by_number(3);
+  const machine_fingerprint a = fingerprint(m);
+  const machine_fingerprint b = fingerprint(m);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.geometry_hash(), b.geometry_hash());
+  EXPECT_EQ(a.canonical(), b.canonical());
+}
+
+TEST(Fingerprint, IgnoresMappingIrrelevantFields) {
+  // Table labels, ground-truth mapping, hammer profile and timing quality
+  // say nothing about what mapping the controller uses — perturbing them
+  // must not move the fingerprint.
+  const auto& base = dram::machine_by_number(2);
+  dram::machine_spec perturbed = base;
+  perturbed.number = 99;
+  perturbed.microarchitecture = "Imaginary Lake";
+  perturbed.quality = dram::timing_quality::noisy;
+  perturbed.vulnerability.double_sided_flip_chance = 0.5;
+  EXPECT_EQ(fingerprint(base), fingerprint(perturbed));
+  EXPECT_EQ(fingerprint(base).hash(), fingerprint(perturbed).hash());
+}
+
+TEST(Fingerprint, FieldAssignmentOrderIrrelevant) {
+  // The canonical string is built from the struct in one fixed field
+  // order, so two fingerprints carrying the same values hash identically
+  // however their fields were populated.
+  system_info a{};
+  a.total_bytes = 1ull << 33;
+  a.channels = 2;
+  a.dimms_per_channel = 1;
+  a.ranks_per_dimm = 2;
+  a.banks_per_rank = 8;
+  system_info b{};
+  b.banks_per_rank = 8;
+  b.ranks_per_dimm = 2;
+  b.dimms_per_channel = 1;
+  b.channels = 2;
+  b.total_bytes = 1ull << 33;
+  EXPECT_EQ(fingerprint(a, "i7-4770").hash(), fingerprint(b, "i7-4770").hash());
+}
+
+TEST(Fingerprint, CpuModelSplitsHashButNotGeometry) {
+  const auto& m = dram::machine_by_number(1);
+  dram::machine_spec sibling = m;
+  sibling.cpu_model = "i5-2500";  // same board, different CPU bin
+  const machine_fingerprint a = fingerprint(m);
+  const machine_fingerprint b = fingerprint(sibling);
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.geometry_hash(), b.geometry_hash());
+}
+
+TEST(Fingerprint, DistinctGeometriesDistinctHashes) {
+  // Every pair of paper machines with different canonical geometry must
+  // land on a different geometry hash (and a different full hash).
+  const auto& machines = dram::paper_machines();
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    for (std::size_t j = i + 1; j < machines.size(); ++j) {
+      const machine_fingerprint a = fingerprint(machines[i]);
+      const machine_fingerprint b = fingerprint(machines[j]);
+      if (a.geometry_canonical() != b.geometry_canonical()) {
+        EXPECT_NE(a.geometry_hash(), b.geometry_hash())
+            << machines[i].label() << " vs " << machines[j].label();
+      }
+      if (a.canonical() != b.canonical()) {
+        EXPECT_NE(a.hash(), b.hash())
+            << machines[i].label() << " vs " << machines[j].label();
+      }
+    }
+  }
+}
+
+TEST(Fingerprint, HashIsPinned) {
+  // The store format persists these hashes, so they must stay stable
+  // across platforms and releases — a change here is a store schema break
+  // and needs a version bump in src/store/mapping_store.cpp.
+  const machine_fingerprint fp = fingerprint(dram::machine_by_number(1));
+  EXPECT_EQ(fp.canonical(),
+            "cpu=i5-2400|gen=DDR3|bytes=8589934592|channels=2|dimms=1|"
+            "ranks=1|banks=8|ecc=0");
+  EXPECT_EQ(fp.hash(), 828042820628194189ull);
+  EXPECT_EQ(fp.geometry_hash(), 1107971280693805017ull);
+}
+
 }  // namespace
 }  // namespace dramdig::sysinfo
