@@ -124,6 +124,10 @@ int main(int argc, char** argv) {
   // Verification-only store hits vs a cold recovery (measurement count
   // reduction, 0.8 = "80% fewer"): the fleet store's acceptance metric.
   double min_warm_reduction = 0.8;
+  // Evidence-carrying warm starts (geometry sibling + v2 evidence prior)
+  // vs a cold recovery. The bench runs the fleet's worst warm machine, so
+  // this floor holds fleet-wide.
+  double min_warm_evidence_reduction = 0.5;
   // plan_overhead.ns_per_verdict_ratio is EXPECTED below one (cached
   // verdicts pay bookkeeping per verdict; the win is measurement count,
   // gated by partition_measurement_reuse). The floor only documents that a
@@ -152,6 +156,9 @@ int main(int argc, char** argv) {
       min_decode_speedup = std::strtod(argv[i] + 21, nullptr);
     } else if (std::strncmp(argv[i], "--min-warm-reduction=", 21) == 0) {
       min_warm_reduction = std::strtod(argv[i] + 21, nullptr);
+    } else if (std::strncmp(argv[i], "--min-warm-evidence-reduction=", 30) ==
+               0) {
+      min_warm_evidence_reduction = std::strtod(argv[i] + 30, nullptr);
     } else if (std::strncmp(argv[i], "--min-verdict-ratio=", 20) == 0) {
       min_verdict_ratio = std::strtod(argv[i] + 20, nullptr);
     } else {
@@ -166,6 +173,7 @@ int main(int argc, char** argv) {
                  "[--min-reuse-wall-speedup=N] [--min-hot-throughput=N] "
                  "[--min-noise-speedup=N] [--min-tail-scaling=N] "
                  "[--min-decode-speedup=N] [--min-warm-reduction=F] "
+                 "[--min-warm-evidence-reduction=F] "
                  "[--min-verdict-ratio=F]\n");
     return 2;
   }
@@ -233,6 +241,31 @@ int main(int argc, char** argv) {
     } else {
       std::printf("guard: store verification saves %.0f%% (floor %.0f%%) ok\n",
                   reduction * 100.0, min_warm_reduction * 100.0);
+    }
+  }
+
+  // Evidence-carrying warm starts: a geometry sibling run from the v2
+  // evidence prior must beat a cold recovery by at least the floor while
+  // recovering the stored mapping bit-identically.
+  check_true(doc, "fleet_warm_start", "warm_mapping_identical", failures);
+  const std::string evidence_text =
+      value_after(doc, "fleet_warm_start", "warm_evidence_reduction");
+  if (evidence_text.empty()) {
+    std::fprintf(stderr,
+                 "guard: fleet_warm_start.warm_evidence_reduction missing\n");
+    ++failures;
+  } else {
+    const double reduction = std::strtod(evidence_text.c_str(), nullptr);
+    if (reduction < min_warm_evidence_reduction) {
+      std::fprintf(stderr,
+                   "guard: evidence warm start saves only %.0f%% vs a cold "
+                   "recovery (floor %.0f%%)\n",
+                   reduction * 100.0, min_warm_evidence_reduction * 100.0);
+      ++failures;
+    } else {
+      std::printf("guard: evidence warm start saves %.0f%% (floor %.0f%%) "
+                  "ok\n",
+                  reduction * 100.0, min_warm_evidence_reduction * 100.0);
     }
   }
 

@@ -77,7 +77,25 @@ int main(int argc, char** argv) {
     const std::size_t comma = machines_arg.find(',', at);
     const std::size_t end =
         comma == std::string::npos ? machines_arg.size() : comma;
-    wanted.push_back(std::atoi(machines_arg.substr(at, end - at).c_str()));
+    const std::string token = machines_arg.substr(at, end - at);
+    // Validate against the real fleet: a typo'd id must fail loudly, not
+    // silently shrink the run (an empty job list exits "success").
+    const int number = std::atoi(token.c_str());
+    const auto& fleet = dram::paper_machines();
+    const bool known =
+        number > 0 &&
+        std::any_of(fleet.begin(), fleet.end(),
+                    [&](const dram::machine_spec& m) {
+                      return m.number == number;
+                    });
+    if (!known) {
+      std::fprintf(stderr,
+                   "error: unknown machine id '%s' in --machines (paper "
+                   "machines are 1..%zu)\n",
+                   token.c_str(), fleet.size());
+      return 2;
+    }
+    wanted.push_back(number);
     at = end + 1;
   }
 

@@ -44,6 +44,8 @@ store::store_entry entry_from_result(const sysinfo::machine_fingerprint& fp,
   e.address_bits = result.mapping->address_bits();
   e.function_span = gf2::row_echelon(e.bank_functions);
   e.pool_size = result.pool_size;
+  e.bank_count = result.assumed_bank_count;
+  e.threshold_ns = result.threshold_ns;
   e.history = std::move(prior_history);
   e.history.push_back({kind, job.seed, result.measurement_count});
   e.evidence_digest = e.compute_evidence_digest();
@@ -71,6 +73,8 @@ tool_result result_from_verification(core::environment& env,
   out.measurement_count = vr.total_measurements;
   out.access_count = env.mach().controller().access_count();
   out.pool_size = entry.pool_size;
+  out.assumed_bank_count = entry.bank_count;
+  out.threshold_ns = vr.threshold_ns;
   return out;
 }
 
@@ -89,7 +93,13 @@ static constexpr auto feed_less = [](const auto& a, const auto& b) {
 std::uint64_t job_feed::push(job_spec job) {
   DRAMDIG_EXPECTS(tool_registry::global().contains(job.tool));
   std::scoped_lock lock(mutex_);
-  if (closed_) return 0;
+  if (closed_) {
+    // Racing producers degrade instead of throwing, but a dropped job is
+    // work that silently never runs — say which one.
+    log_warn("job_feed: dropping push after close (machine " +
+             job.machine.label() + ", tool '" + job.tool + "')");
+    return 0;
+  }
   const std::uint64_t ticket = next_ticket_++;
   heap_.push_back(item{std::move(job), ticket});
   std::push_heap(heap_.begin(), heap_.end(), feed_less);
@@ -192,6 +202,18 @@ void mapping_service::execute_job(const job_spec& job,
     core::dramdig_config::warm_hints hints;
     hints.function_span = plan.entry->function_span;
     hints.expected_pool = static_cast<std::size_t>(plan.entry->pool_size);
+    // Schema-v2 entries carry the full evidence prior; a v1-era entry
+    // (bank_count 0 = no claim) stays the span-only warm start it always
+    // was. The evidence fields travel together — bit priors and pool
+    // stratification are statements about the same recovering run the
+    // bank count came from.
+    if (plan.entry->bank_count > 0) {
+      hints.bank_functions = plan.entry->bank_functions;
+      hints.row_bits = plan.entry->row_bits;
+      hints.column_bits = plan.entry->column_bits;
+      hints.bank_count = plan.entry->bank_count;
+      hints.threshold_ns = plan.entry->threshold_ns;
+    }
     cfg.warm = std::move(hints);
     options.with_dramdig(std::move(cfg));
     out.store_hit = "warm";

@@ -122,7 +122,9 @@ struct service_config {
 /// (higher priority pops first, FIFO within a priority), consumers inside
 /// mapping_service::serve pop them as workers free up. close() ends the
 /// stream: serve() returns once the queue drains. push() after close is
-/// dropped (returns 0), so racing producers degrade instead of throwing.
+/// dropped (returns 0) with a logged warning naming the job's machine and
+/// tool, so racing producers degrade instead of throwing — but the
+/// dropped work is visible.
 class job_feed {
  public:
   /// Enqueue a job (ordering key = job.priority). Returns a nonzero

@@ -83,6 +83,8 @@ class dramdig_adapter final : public mapping_tool {
     out.measurements_saved = report.measurements_saved;
     out.access_count = accesses.delta();
     out.pool_size = report.pool_size;
+    out.assumed_bank_count = report.assumed_bank_count;
+    out.threshold_ns = report.threshold_ns;
     return out;
   }
 
@@ -235,6 +237,8 @@ void tool_result::to_json(json_writer& w) const {
   w.key("measurements_saved").value(measurements_saved);
   w.key("access_count").value(access_count);
   w.key("pool_size").value(pool_size);
+  w.key("assumed_bank_count").value(assumed_bank_count);
+  w.key("threshold_ns").value(threshold_ns);
   w.key("mapping");
   if (mapping) {
     w.begin_object();

@@ -82,24 +82,35 @@ struct tool_result {
   /// classifier-evidence field the fleet mapping store persists so warm
   /// starts can pre-size the measurement plan.
   std::uint64_t pool_size = 0;
+  /// Bank count the run resolved (DRAMDig only, 0 elsewhere). Store
+  /// evidence: a geometry sibling's wrong-bank-count sweep starts here.
+  unsigned assumed_bank_count = 0;
+  /// Calibrated row-conflict threshold in ns (DRAMDig only, 0 elsewhere).
+  /// Store evidence: authorizes an early calibration stop on siblings.
+  double threshold_ns = 0.0;
 
   /// Append this result as one JSON object (the machine-readable format
   /// every driver emits; see ROADMAP "Unified tool API" for the schema).
   ///
   /// Related document: the fleet mapping store (src/store/mapping_store.h)
   /// persists a *different* schema derived from successful results —
-  ///   { "store": "dramdig-mapping-store", "version": 1, "entries": [
+  ///   { "store": "dramdig-mapping-store", "version": 2, "entries": [
   ///       { "fingerprint": {cpu_model, generation, total_bytes, channels,
   ///                         dimms_per_channel, ranks_per_dimm,
   ///                         banks_per_rank, ecc, hash, geometry_hash},
   ///         "mapping": {bank_functions, row_bits, column_bits,
   ///                     address_bits},   // numeric, not the display
   ///                                      // strings used here
-  ///         "function_span": [...], "evidence": {digest, pool_size},
+  ///         "function_span": [...],
+  ///         "evidence": {digest, pool_size,
+  ///                      bank_count, threshold_ns},  // last two: v2
   ///         "history": [{kind, seed, measurements}, ...] } ] }
   /// — numeric masks/bit lists instead of this object's human-readable
   /// renderings, because the store is read back (util/json.h json_value)
-  /// while this record is write-only telemetry.
+  /// while this record is write-only telemetry. Schema v2 widened the
+  /// evidence block with this record's assumed_bank_count/threshold_ns
+  /// (the transferable warm-start prior); v1 documents still load, their
+  /// missing keys reading as zero = no claim.
   void to_json(json_writer& w) const;
   [[nodiscard]] std::string to_json_string() const;
 };

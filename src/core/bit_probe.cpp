@@ -12,9 +12,17 @@ bit_probe_engine::bit_probe_engine(measurement_plan& plan,
 std::vector<std::optional<bool>> bit_probe_engine::run(
     std::span<const std::uint64_t> deltas, const probe_config& config, rng& r,
     std::string_view stage) {
+  return run(deltas, {}, config, r, stage);
+}
+
+std::vector<std::optional<bool>> bit_probe_engine::run(
+    std::span<const std::uint64_t> deltas,
+    std::span<const std::optional<bool>> priors, const probe_config& config,
+    rng& r, std::string_view stage) {
   DRAMDIG_EXPECTS(config.votes >= 1);
+  DRAMDIG_EXPECTS(priors.empty() || priors.size() == deltas.size());
   stats_.experiments += deltas.size();
-  return config.use_designed ? run_designed(deltas, config, r, stage)
+  return config.use_designed ? run_designed(deltas, priors, config, r, stage)
                              : run_legacy(deltas, config, r);
 }
 
@@ -53,15 +61,27 @@ std::vector<std::optional<bool>> bit_probe_engine::run_legacy(
 }
 
 std::vector<std::optional<bool>> bit_probe_engine::run_designed(
-    std::span<const std::uint64_t> deltas, const probe_config& config, rng& r,
-    std::string_view stage) {
+    std::span<const std::uint64_t> deltas,
+    std::span<const std::optional<bool>> priors, const probe_config& config,
+    rng& r, std::string_view stage) {
   struct experiment {
-    unsigned pos = 0;   ///< positive votes
-    unsigned cast = 0;  ///< votes cast (pair picking can miss a round)
+    unsigned pos = 0;    ///< positive votes
+    unsigned cast = 0;   ///< votes cast (pair picking can miss a round)
+    unsigned agree = 0;  ///< consecutive votes agreeing with the prior
     bool done = false;
     bool verdict = false;
+    bool has_prior = false;
+    bool prior = false;
   };
   std::vector<experiment> state(deltas.size());
+  if (!priors.empty() && config.prior_confirm >= 1) {
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+      if (priors[i]) {
+        state[i].has_prior = true;
+        state[i].prior = *priors[i];
+      }
+    }
+  }
   auto& controller = plan_.channel().controller();
 
   std::vector<std::size_t> active;
@@ -108,7 +128,19 @@ std::vector<std::optional<bool>> bit_probe_engine::run_designed(
       for (std::size_t k = 0; k < pairs.size(); ++k) {
         experiment& e = state[pair_exp[k]];
         ++e.cast;
-        e.pos += outcome.sbdr[k] != 0;
+        const bool vote = outcome.sbdr[k] != 0;
+        e.pos += vote;
+        if (e.has_prior) {
+          if (vote == e.prior) {
+            ++e.agree;
+          } else {
+            // A strict-grade vote against the claim: the prior is wrong
+            // for this experiment. Drop it and let the standard majority
+            // decide — advisory evidence costs votes, never the verdict.
+            e.has_prior = false;
+            ++stats_.priors_refuted;
+          }
+        }
       }
     }
 
@@ -120,6 +152,14 @@ std::vector<std::optional<bool>> bit_probe_engine::run_designed(
     const unsigned remaining = config.votes - round - 1;
     for (const std::size_t i : active) {
       experiment& e = state[i];
+      if (e.has_prior && e.agree >= config.prior_confirm) {
+        // Prior confirmed by strict-grade agreement: settled early.
+        e.done = true;
+        e.verdict = e.prior;
+        stats_.votes_saved += remaining;
+        ++stats_.priors_confirmed;
+        continue;
+      }
       if (e.pos * 2 > e.cast + remaining) {
         e.done = true;
         e.verdict = true;

@@ -61,6 +61,15 @@ struct probe_config {
   /// Shared-base candidates scored per designed round; the base backing
   /// the most active deltas wins.
   unsigned base_attempts = 6;
+  /// Agreeing votes that settle an experiment carrying a prior (fleet
+  /// warm start). 1 is sound, not reckless: a delta experiment's ground
+  /// truth is shared by every pair (p, p ^ d), noise is one-sided (events
+  /// only inflate latency), and probe_pairs grades every slow reading
+  /// through the strict min filter — so a single fast sample is already
+  /// proof of a negative and a single strict positive is proof of a
+  /// positive. Any disagreeing vote refutes the prior for that experiment
+  /// and escalates it to the standard `votes` majority.
+  unsigned prior_confirm = 1;
 };
 
 /// Cumulative engine activity (across every run() of one engine).
@@ -71,6 +80,8 @@ struct probe_stats {
   std::uint64_t votes_saved = 0;       ///< votes skipped by early termination
   std::uint64_t shared_base_votes = 0; ///< pairs served off a round's shared base
   std::uint64_t reused_votes = 0;      ///< votes answered from the plan's cache
+  std::uint64_t priors_confirmed = 0;  ///< experiments settled by an agreeing prior
+  std::uint64_t priors_refuted = 0;    ///< priors dropped on a disagreeing vote
 };
 
 /// One designed round, as streamed to the round hook (legacy mode emits
@@ -98,6 +109,19 @@ class bit_probe_engine {
       std::span<const std::uint64_t> deltas, const probe_config& config,
       rng& r, std::string_view stage = "probe");
 
+  /// Prior-seeded variant (fleet warm start): priors[i] predicts
+  /// experiment i's verdict from stored sibling evidence (nullopt = no
+  /// claim). An experiment whose first prior_confirm votes agree with its
+  /// prior settles immediately (the votes are strict-grade, so the early
+  /// verdict is as sound as the full majority); a disagreeing vote drops
+  /// the prior for that experiment and the standard majority decides.
+  /// Legacy mode (use_designed = false) ignores priors entirely — it is
+  /// the differential oracle. priors must be empty or match deltas.size().
+  [[nodiscard]] std::vector<std::optional<bool>> run(
+      std::span<const std::uint64_t> deltas,
+      std::span<const std::optional<bool>> priors, const probe_config& config,
+      rng& r, std::string_view stage = "probe");
+
   /// Single-experiment convenience (fine's per-candidate confirmation).
   [[nodiscard]] std::optional<bool> run_one(std::uint64_t delta,
                                             const probe_config& config, rng& r,
@@ -118,7 +142,8 @@ class bit_probe_engine {
       std::span<const std::uint64_t> deltas, const probe_config& config,
       rng& r);
   [[nodiscard]] std::vector<std::optional<bool>> run_designed(
-      std::span<const std::uint64_t> deltas, const probe_config& config,
+      std::span<const std::uint64_t> deltas,
+      std::span<const std::optional<bool>> priors, const probe_config& config,
       rng& r, std::string_view stage);
 
   measurement_plan& plan_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/bitops.h"
 #include "util/expect.h"
 #include "util/log.h"
 
@@ -13,17 +14,42 @@ coarse_result run_coarse_detection(bit_probe_engine& probe,
   DRAMDIG_EXPECTS(probe.plan().channel().calibrated());
   coarse_result result;
 
+  // Sibling evidence (fleet warm start) as per-bit vote priors. The
+  // stored mapping claims exactly what each pass measures: a single-bit
+  // delta votes true iff the bit is row-only (claimed row, not feeding a
+  // function), false iff it feeds a function or is column-only. Bits the
+  // claim cannot settle get no prior, and every prior is still confirmed
+  // by a strict-grade vote before it decides (bit_probe prior rules).
+  std::uint64_t func_union = 0, prior_rows = 0, prior_cols = 0;
+  if (config.prior) {
+    for (const std::uint64_t f : config.prior->bank_functions) func_union |= f;
+    prior_rows = mask_of_bits(config.prior->row_bits);
+    prior_cols = mask_of_bits(config.prior->column_bits);
+  }
+
   // --- Row pass: single-bit deltas, one engine run. ----------------------
   // Every candidate bit's experiment is planned up front; the engine votes
   // them in cross-bit rounds (one controller batch per round) instead of
   // the legacy one-batch-per-bit sequence.
   std::vector<unsigned> probed;
   std::vector<std::uint64_t> deltas;
+  std::vector<std::optional<bool>> priors;
   for (unsigned b = knowledge.min_probe_bit; b < knowledge.address_bits; ++b) {
     probed.push_back(b);
     deltas.push_back(std::uint64_t{1} << b);
+    if (config.prior) {
+      const std::uint64_t bit = std::uint64_t{1} << b;
+      if ((prior_rows & bit) != 0 && (func_union & bit) == 0) {
+        priors.emplace_back(true);
+      } else if ((func_union & bit) != 0 || (prior_cols & bit) != 0) {
+        priors.emplace_back(false);
+      } else {
+        priors.emplace_back(std::nullopt);
+      }
+    }
   }
-  const auto row_verdicts = probe.run(deltas, config.probe, r, "coarse.row");
+  const auto row_verdicts =
+      probe.run(deltas, priors, config.probe, r, "coarse.row");
   std::vector<unsigned> non_row;
   for (std::size_t i = 0; i < probed.size(); ++i) {
     if (!row_verdicts[i]) {
@@ -47,10 +73,30 @@ coarse_result run_coarse_detection(bit_probe_engine& probe,
   // keeps the bank fixed by definition.
   const unsigned row_ref = result.row_bits.front();
   deltas.clear();
+  priors.clear();
+  // Column-pass priors only make sense when the claim agrees that the
+  // reference bit is row-only — otherwise the claimed verdict of
+  // (row_ref, b) deltas is not the column question.
+  const bool ref_row_only = config.prior &&
+                            (prior_rows >> row_ref & 1) != 0 &&
+                            (func_union >> row_ref & 1) == 0;
   for (unsigned b : non_row) {
     deltas.push_back((std::uint64_t{1} << row_ref) | (std::uint64_t{1} << b));
+    if (config.prior) {
+      const std::uint64_t bit = std::uint64_t{1} << b;
+      if (!ref_row_only) {
+        priors.emplace_back(std::nullopt);
+      } else if ((prior_cols & bit) != 0 && (func_union & bit) == 0) {
+        priors.emplace_back(true);
+      } else if ((func_union & bit) != 0) {
+        priors.emplace_back(false);
+      } else {
+        priors.emplace_back(std::nullopt);
+      }
+    }
   }
-  const auto col_verdicts = probe.run(deltas, config.probe, r, "coarse.col");
+  const auto col_verdicts =
+      probe.run(deltas, priors, config.probe, r, "coarse.col");
   for (std::size_t i = 0; i < non_row.size(); ++i) {
     if (col_verdicts[i] && *col_verdicts[i]) {
       result.column_bits.push_back(non_row[i]);

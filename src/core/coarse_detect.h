@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/bit_probe.h"
@@ -27,9 +28,22 @@
 
 namespace dramdig::core {
 
+/// A geometry sibling's recovered mapping, offered as an advisory prior
+/// (fleet warm start — store::mapping_store evidence). Consumers derive
+/// per-experiment vote predictions from it; every prediction is still
+/// measurement-confirmed before it decides anything, and a disagreeing
+/// vote drops the prediction for that experiment (bit_probe prior rules).
+struct mapping_prior {
+  std::vector<std::uint64_t> bank_functions;  ///< claimed XOR masks
+  std::vector<unsigned> row_bits;             ///< claimed full row set
+  std::vector<unsigned> column_bits;          ///< claimed full column set
+};
+
 struct coarse_config {
   /// Vote/design parameters of the probe engine (7 votes, majority wins).
   probe_config probe{};
+  /// Sibling evidence seeding per-bit vote priors (empty = cold).
+  std::optional<mapping_prior> prior{};
 };
 
 struct coarse_result {

@@ -1,6 +1,7 @@
 #include "core/dramdig.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 
 #include "core/classifier.h"
@@ -69,7 +70,15 @@ dramdig_report dramdig_tool::run() {
   const std::uint64_t t_begin = mc.clock().now_ns();
   const std::uint64_t m_begin = mc.measurement_count();
   rng r(env_.seed() ^ config_.tool_seed * 0x9e3779b97f4a7c15ull);
-  timing::channel channel(mc, config_.channel, r.fork());
+  // Fleet warm start, calibration: the sibling threshold authorizes the
+  // channel's prior-validated early stop. The threshold is still computed
+  // from this machine's own samples; a wrong prior never matches the
+  // local estimates and falls through to the normal adaptive schedule.
+  timing::channel_config channel_cfg = config_.channel;
+  if (config_.warm && config_.warm->threshold_ns > 0) {
+    channel_cfg.calibration_prior_ns = config_.warm->threshold_ns;
+  }
+  timing::channel channel(mc, channel_cfg, r.fork());
   // One measurement-reuse scheduler for the whole run: verdicts accreted
   // in any phase (or any partition attempt of the bank-count sweep) are
   // reused by every later scan. The classification engine sits on top of
@@ -139,10 +148,20 @@ dramdig_report dramdig_tool::run() {
 
   // --- Step 1: coarse detection --------------------------------------------
   wire_probe(buffer);
+  // Fleet warm start, bit classification: the stored mapping seeds
+  // per-bit vote priors for the coarse passes (and later fine
+  // confirmations). Advisory per experiment — a disagreeing strict-grade
+  // vote drops the prior for that bit and the standard majority decides.
+  coarse_config coarse_cfg = config_.coarse;
+  if (config_.warm && !config_.warm->bank_functions.empty()) {
+    coarse_cfg.prior = mapping_prior{config_.warm->bank_functions,
+                                     config_.warm->row_bits,
+                                     config_.warm->column_bits};
+  }
   coarse_result coarse;
   {
     phase_meter meter(mc, report.coarse, "coarse", notify);
-    coarse = run_coarse_detection(*probe, knowledge, r, config_.coarse);
+    coarse = run_coarse_detection(*probe, knowledge, r, coarse_cfg);
   }
   report.coarse_detail = coarse;
   if (coarse.row_bits.empty() || coarse.bank_bits.empty()) {
@@ -174,8 +193,20 @@ dramdig_report dramdig_tool::run() {
   } else {
     // Largest first: a partition that validates against a small bank count
     // could be a coincidence of a coarse pile split, so the blind sweep
-    // rules out the high counts before settling.
+    // rules out the high counts before settling. A warm hint rotates the
+    // stored count to the front — the sweep starts where the sibling
+    // landed and only widens back to the blind order on refutation (a
+    // failed partition/function round just falls through to the next
+    // candidate).
     bank_count_candidates = {64, 32, 16, 8};
+    if (config_.warm && config_.warm->bank_count > 0) {
+      const auto hint =
+          std::find(bank_count_candidates.begin(), bank_count_candidates.end(),
+                    config_.warm->bank_count);
+      if (hint != bank_count_candidates.end()) {
+        std::rotate(bank_count_candidates.begin(), hint, hint + 1);
+      }
+    }
   }
 
   // --- Step 2: partition + function resolving, with retries ----------------
@@ -188,6 +219,59 @@ dramdig_report dramdig_tool::run() {
   partition_outcome partition;
   unsigned assumed_banks = 0;
   std::vector<std::uint64_t> pool = selection.pool;
+
+  // Fleet warm start, partition: subsample the pool to an exact
+  // per-predicted-bank quota, with each address's bank id computed
+  // host-side from the stored functions. Exact strata keep every pile
+  // inside the acceptance window deterministically (plain random
+  // subsampling leaves hypergeometric spread that routinely busts the
+  // upper bound at 64 piles) and guarantee every bank id stays present
+  // for the numbering check; picks within a stratum are random — a
+  // strided pick risks coset aliasing that deflates the diff-matrix rank
+  // behind null-space function detection. Wrong stored functions produce
+  // wrong strata, the partition window refutes them, and the attempt
+  // retry below restores the full pool (degrade in place — no re-queue).
+  //
+  // Quota = half the pool's own per-bank density, clamped to [8, 64]:
+  // the floor matches the densest geometry the cold selector itself
+  // hands partition (8 per bank on the 128/16 and 64/8 machines), so
+  // function resolution is known to survive it; the cap bounds how
+  // aggressive the cut gets on the 16k-address pools.
+  bool pool_subsampled = false;
+  if (config_.warm && !config_.warm->bank_functions.empty() &&
+      config_.warm->bank_count > 0 &&
+      config_.warm->bank_functions.size() < 32 &&
+      (std::size_t{1} << config_.warm->bank_functions.size()) ==
+          config_.warm->bank_count &&
+      pool.size() / config_.warm->bank_count >= 2 * 8) {
+    const std::size_t kWarmQuota = std::clamp<std::size_t>(
+        pool.size() / config_.warm->bank_count / 2, 8, 64);
+    const std::vector<std::uint64_t>& funcs = config_.warm->bank_functions;
+    std::vector<std::vector<std::uint64_t>> strata(config_.warm->bank_count);
+    for (const std::uint64_t a : pool) {
+      std::size_t id = 0;
+      for (std::size_t fi = 0; fi < funcs.size(); ++fi) {
+        id |= static_cast<std::size_t>(std::popcount(a & funcs[fi]) & 1) << fi;
+      }
+      strata[id].push_back(a);
+    }
+    bool quorate = true;
+    for (const auto& s : strata) quorate = quorate && s.size() >= kWarmQuota;
+    if (quorate) {
+      std::vector<std::uint64_t> sampled;
+      sampled.reserve(kWarmQuota * strata.size());
+      for (auto& s : strata) {
+        for (std::size_t k = 0; k < kWarmQuota; ++k) {  // partial Fisher-Yates
+          std::swap(s[k], s[k + r.below(s.size() - k)]);
+          sampled.push_back(s[k]);
+        }
+      }
+      pool = std::move(sampled);
+      report.pool_size = pool.size();
+      pool_subsampled = true;
+    }
+  }
+
   for (unsigned attempt = 0; attempt < config_.max_attempts && !functions.success;
        ++attempt) {
     report.attempts_used = attempt + 1;
@@ -200,6 +284,13 @@ dramdig_report dramdig_tool::run() {
       // still shares both within one attempt.
       plan.reset();
       engine.clear();
+      if (pool_subsampled) {
+        // The warm strata did not partition: the stored functions are
+        // suspect for this machine. Degrade in place to the cold pool.
+        pool = selection.pool;
+        report.pool_size = pool.size();
+        pool_subsampled = false;
+      }
     }
     if (attempt > 0 && pool.size() < 32768) {
       // Extend the selection bit set by the lowest still-unused row bits.
@@ -250,10 +341,18 @@ dramdig_report dramdig_tool::run() {
 
   // --- Step 3: fine-grained detection --------------------------------------
   fine_outcome fine;
+  fine_config fine_cfg = config_.fine;
+  if (config_.warm && !config_.warm->bank_functions.empty()) {
+    // Fine gates the prior itself on span agreement with the detected
+    // functions, so a refuted warm claim never reaches its probes.
+    fine_cfg.prior = mapping_prior{config_.warm->bank_functions,
+                                   config_.warm->row_bits,
+                                   config_.warm->column_bits};
+  }
   if (config_.use_spec_counts) {
     phase_meter meter(mc, report.fine, "fine", notify);
     fine = run_fine_detection(*probe, knowledge, coarse, functions.functions,
-                              r, config_.fine);
+                              r, fine_cfg);
   } else {
     // Spec-count ablation: no way to know how many shared bits remain; the
     // coarse classification is all the tool can report.

@@ -53,13 +53,25 @@ struct dramdig_config {
   /// geometry hit — see src/store). The span hint seeds the classifier's
   /// knowledge-assisted prediction so trusted vote ordering and group
   /// founder scans engage from round 0; the pool evidence pre-sizes the
-  /// measurement plan. Hints are advisory: every assignment is still
-  /// measurement-verified, a contradicted span is dropped mid-run, and a
-  /// failed attempt retries without them — so a wrong hint can cost
-  /// measurements but never the recovered mapping.
+  /// measurement plan; the full evidence prior (schema v2 entries) feeds
+  /// every phase: the sibling threshold authorizes an early calibration
+  /// stop once local estimates confirm it, the bit classification seeds
+  /// coarse/fine vote priors, the stored functions stratify the partition
+  /// pool to an exact per-predicted-bank quota, and the bank-count sweep
+  /// starts at the stored count. Hints are advisory: every assignment is
+  /// still measurement-verified, a contradicted claim is dropped where it
+  /// was refuted (prior per experiment, span mid-run, subsample on the
+  /// attempt retry), and a failed attempt retries cold — so a wrong hint
+  /// can cost measurements but never the recovered mapping.
   struct warm_hints {
     gf2::matrix function_span;        ///< claimed bank-function span basis
     std::size_t expected_pool = 0;    ///< selection-pool size evidence
+    // --- evidence prior (zero/empty on v1-era store entries) ---
+    std::vector<std::uint64_t> bank_functions;  ///< claimed XOR masks
+    std::vector<unsigned> row_bits;             ///< claimed row set
+    std::vector<unsigned> column_bits;          ///< claimed column set
+    unsigned bank_count = 0;                    ///< claimed bank count
+    double threshold_ns = 0.0;                  ///< sibling threshold
   };
   std::optional<warm_hints> warm{};
   /// Ablation switches: without system information the tool must guess the

@@ -42,6 +42,19 @@ fine_outcome run_fine_detection(bit_probe_engine& probe,
   std::set<unsigned> rows(out.row_bits.begin(), out.row_bits.end());
   std::set<unsigned> cols(out.column_bits.begin(), out.column_bits.end());
 
+  // Sibling evidence (fleet warm start), usable only when the detected
+  // functions span the claimed space — the claimed row set is a statement
+  // about THESE functions' null-space deltas. When usable it (a) orders
+  // claimed-row candidates first, so the spec count is exhausted before
+  // refutable candidates are ever probed, and (b) predicts each
+  // confirmation verdict: a delta flips a row iff it meets the claimed
+  // row mask.
+  std::uint64_t prior_rows = 0;
+  const bool prior_usable =
+      config.prior && !config.prior->bank_functions.empty() &&
+      gf2::same_span(bank_functions, config.prior->bank_functions);
+  if (prior_usable) prior_rows = mask_of_bits(config.prior->row_bits);
+
   // ---- Shared row bits -------------------------------------------------
   // Candidate = a function's highest bit (the paper: "consider the higher
   // one as the row bit"). Functions are investigated highest-bit-first:
@@ -58,6 +71,14 @@ fine_outcome run_fine_detection(bit_probe_engine& probe,
               const int pa = std::popcount(a), pb = std::popcount(b);
               return pa != pb ? pa < pb : a < b;
             });
+  if (prior_usable) {
+    std::stable_partition(by_width.begin(), by_width.end(),
+                          [&](std::uint64_t f) {
+                            if (std::popcount(f) < 2) return false;
+                            const unsigned c = bits_of_mask(f).back();
+                            return (prior_rows >> c & 1) != 0;
+                          });
+  }
   std::size_t needed =
       knowledge.expected_row_bits > rows.size()
           ? knowledge.expected_row_bits - rows.size()
@@ -77,7 +98,18 @@ fine_outcome run_fine_detection(bit_probe_engine& probe,
     bool accept = true;
     const auto delta = bank_invariant_delta(bank_functions, candidate, support);
     if (delta) {
-      const auto verdict = probe.run_one(*delta, config.probe, r, "fine");
+      const std::uint64_t probe_delta[1] = {*delta};
+      const std::optional<bool> probe_prior[1] = {
+          prior_usable ? std::optional<bool>((*delta & prior_rows) != 0)
+                       : std::nullopt};
+      const auto verdict =
+          probe
+              .run(probe_delta,
+                   prior_usable ? std::span<const std::optional<bool>>(
+                                      probe_prior)
+                                : std::span<const std::optional<bool>>{},
+                   config.probe, r, "fine")
+              .front();
       if (verdict.has_value()) {
         accept = *verdict;  // high latency <=> a row bit rides in the delta
       } else {

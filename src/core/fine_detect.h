@@ -40,6 +40,13 @@ namespace dramdig::core {
 struct fine_config {
   /// Vote/design parameters of the probe engine (3 votes per candidate).
   probe_config probe{.votes = 3};
+  /// Sibling evidence (fleet warm start): per-candidate confirmation
+  /// probes carry a vote prior predicting whether a row bit rides in the
+  /// bank-invariant delta — but only when the detected functions span the
+  /// same space as the claimed ones (otherwise the claimed row set says
+  /// nothing about this machine's deltas). Advisory as everywhere: a
+  /// disagreeing strict-grade vote drops the prior per experiment.
+  std::optional<mapping_prior> prior{};
 };
 
 struct fine_outcome {

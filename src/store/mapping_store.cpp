@@ -13,7 +13,10 @@ namespace dramdig::store {
 namespace {
 
 constexpr const char* kStoreTag = "dramdig-mapping-store";
-constexpr std::uint64_t kStoreVersion = 1;
+/// Written version. v2 added the evidence bank_count/threshold_ns keys;
+/// v1 documents still load (the keys read as absent -> zero = no claim).
+constexpr std::uint64_t kStoreVersion = 2;
+constexpr std::uint64_t kOldestLoadableVersion = 1;
 
 std::uint64_t fnv1a(const std::string& s) {
   std::uint64_t h = 14695981039346656037ull;
@@ -91,6 +94,8 @@ std::uint64_t store_entry::compute_evidence_digest() const {
   s << "|cols=";
   for (const unsigned b : column_bits) s << b << ",";
   s << "|pool=" << pool_size;
+  s << "|banks=" << bank_count;
+  s << "|thr=" << threshold_ns;
   return fnv1a(s.str());
 }
 
@@ -118,7 +123,8 @@ void mapping_store::load_locked(const std::string& text) {
   if (doc.at("store").as_string() != kStoreTag) {
     throw json_parse_error("not a mapping-store document");
   }
-  if (doc.at("version").as_u64() != kStoreVersion) {
+  const std::uint64_t version = doc.at("version").as_u64();
+  if (version < kOldestLoadableVersion || version > kStoreVersion) {
     throw json_parse_error("unsupported store version");
   }
   const json_value& list = doc.at("entries");
@@ -137,6 +143,14 @@ void mapping_store::load_locked(const std::string& text) {
     const json_value& ev = e.at("evidence");
     entry.evidence_digest = ev.at("digest").as_u64();
     entry.pool_size = ev.at("pool_size").as_u64();
+    // v2 evidence keys; absent on v1 documents -> zero = no claim, so a
+    // v1 entry degrades to the span-only warm prior it always carried.
+    if (const json_value* bc = ev.find("bank_count")) {
+      entry.bank_count = static_cast<unsigned>(bc->as_u64());
+    }
+    if (const json_value* thr = ev.find("threshold_ns")) {
+      entry.threshold_ns = thr->as_double();
+    }
     const json_value& hist = e.at("history");
     for (std::size_t h = 0; h < hist.size(); ++h) {
       verification_event event;
@@ -232,6 +246,8 @@ std::string mapping_store::to_json_locked() const {
     w.key("evidence").begin_object();
     w.key("digest").value(e.evidence_digest);
     w.key("pool_size").value(e.pool_size);
+    w.key("bank_count").value(e.bank_count);
+    w.key("threshold_ns").value(e.threshold_ns);
     w.end_object();
     w.key("history").begin_array();
     for (const verification_event& h : e.history) {

@@ -15,7 +15,7 @@
 //
 //   {
 //     "store": "dramdig-mapping-store",
-//     "version": 1,
+//     "version": 2,
 //     "entries": [
 //       {
 //         "fingerprint": { "cpu_model": ..., "generation": "DDR3",
@@ -26,13 +26,21 @@
 //         "mapping": { "bank_functions": [...], "row_bits": [...],
 //                      "column_bits": [...], "address_bits": ... },
 //         "function_span": [...],          // row-echelon basis of the span
-//         "evidence": { "digest": ..., "pool_size": ... },
+//         "evidence": { "digest": ..., "pool_size": ...,
+//                       "bank_count": ..., "threshold_ns": ... },  // v2
 //         "history": [ { "kind": "recovered|verified|verify_failed|
 //                                 warm_recovered",
 //                        "seed": ..., "measurements": ... }, ... ]
 //       }, ...
 //     ]
 //   }
+//
+// Schema v2 extends the v1 evidence block with the recovering run's bank
+// count and calibrated threshold; together with the mapping's bit lists
+// they form the full evidence prior a geometry hit transfers into a warm
+// run (dramdig_config::warm). Version 1 documents (no such keys) still
+// load, silently, as span-only priors — the evidence fields read as
+// zero/empty and every warm consumer treats that as "no claim".
 //
 // The stored fingerprint hashes are recomputed and cross-checked on load;
 // any parse error, schema mismatch, or hash mismatch degrades the store
@@ -78,6 +86,14 @@ struct store_entry {
   /// Selection-pool size of the recovering run — pre-sizes the
   /// measurement plan on warm starts.
   std::uint64_t pool_size = 0;
+  /// Bank count the recovering run resolved (schema v2; 0 on entries
+  /// loaded from v1 documents = no claim). Seeds the warm run's
+  /// wrong-bank-count sweep and the partition pool stratification.
+  unsigned bank_count = 0;
+  /// Calibrated row-conflict threshold of the recovering run (schema v2;
+  /// 0 = no claim). Authorizes an early calibration stop on geometry
+  /// siblings once local estimates confirm it.
+  double threshold_ns = 0.0;
   std::vector<verification_event> history;
 
   /// The stored mapping as the hypothesis type tools output.

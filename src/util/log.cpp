@@ -6,6 +6,7 @@ namespace dramdig {
 
 namespace {
 log_level g_level = log_level::off;
+log_sink g_sink;
 
 const char* prefix(log_level level) {
   switch (level) {
@@ -23,7 +24,10 @@ void set_log_level(log_level level) { g_level = level; }
 
 log_level current_log_level() { return g_level; }
 
+void set_log_sink(log_sink sink) { g_sink = std::move(sink); }
+
 void log_line(log_level level, const std::string& message) {
+  if (level != log_level::off && g_sink) g_sink(level, message);
   if (static_cast<int>(level) <= static_cast<int>(g_level) &&
       level != log_level::off) {
     std::fprintf(stderr, "%s%s\n", prefix(level), message.c_str());

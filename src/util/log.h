@@ -3,6 +3,7 @@
 // tests and benches keep it off by default.
 #pragma once
 
+#include <functional>
 #include <string>
 
 namespace dramdig {
@@ -12,6 +13,13 @@ enum class log_level { off = 0, error = 1, warn = 2, info = 3, debug = 4 };
 /// Global verbosity; defaults to off so library users opt in.
 void set_log_level(log_level level);
 [[nodiscard]] log_level current_log_level();
+
+/// Optional tap receiving EVERY log line regardless of the global level
+/// (the level still gates the stderr print). Tests pin warnings through
+/// it; pass nullptr/empty to remove. Not thread-compartmentalized: install
+/// before spawning workers and remove after they join.
+using log_sink = std::function<void(log_level, const std::string&)>;
+void set_log_sink(log_sink sink);
 
 void log_line(log_level level, const std::string& message);
 

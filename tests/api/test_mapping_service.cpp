@@ -20,6 +20,7 @@
 #include "util/expect.h"
 #include "util/gf2.h"
 #include "util/json.h"
+#include "util/log.h"
 
 namespace dramdig::api {
 namespace {
@@ -427,6 +428,74 @@ TEST(MappingServiceStore, GeometrySiblingWarmStartsFullRecovery) {
   EXPECT_EQ(entry->history[0].kind, "warm_recovered");
 }
 
+TEST(MappingServiceStore, ColdRunPersistsEvidenceAndSiblingWarmStartHalves) {
+  const dram::machine_spec& m = dram::machine_by_number(1);
+  store::mapping_store store;
+  mapping_service service({.threads = 1, .store = &store});
+
+  const auto cold = service.run({fleet_job(m)});
+  ASSERT_EQ(cold[0].state, job_state::completed);
+  // Schema-v2 evidence lands on the entry: the resolved bank count and
+  // the calibrated threshold travel with the mapping.
+  const auto entry = store.find_exact(sysinfo::fingerprint(m));
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->bank_count, cold[0].result.assumed_bank_count);
+  EXPECT_GT(entry->bank_count, 0u);
+  EXPECT_EQ(entry->threshold_ns, cold[0].result.threshold_ns);
+  EXPECT_GT(entry->threshold_ns, 0.0);
+
+  // A geometry sibling consuming that evidence must beat the cold run by
+  // >=50% measurements (the CI floor; No.1 is the fleet's worst case)
+  // while recovering a bit-identical mapping.
+  dram::machine_spec sibling = m;
+  sibling.cpu_model = "i5-2500";
+  const auto warm = service.run({fleet_job(sibling)});
+  ASSERT_EQ(warm[0].state, job_state::completed);
+  EXPECT_EQ(warm[0].store_hit, "warm");
+  EXPECT_TRUE(warm[0].result.verified);
+  ASSERT_TRUE(cold[0].result.mapping && warm[0].result.mapping);
+  EXPECT_EQ(warm[0].result.mapping->describe(),
+            cold[0].result.mapping->describe());
+  EXPECT_LE(warm[0].result.measurement_count,
+            cold[0].result.measurement_count / 2);
+}
+
+TEST(MappingServiceStore, PoisonedWarmPriorStillConvergesViaVerification) {
+  // A geometry hit whose stored evidence is wrong in every dimension the
+  // warm path consumes: masks, bit classification, bank count, threshold.
+  // Every warm assignment is still strict-verified, so the run must
+  // degrade in place (advisory prior, no re-queue) and converge to the
+  // true mapping — a poisoned prior can cost measurements, never the
+  // mapping.
+  const dram::machine_spec& m = dram::machine_by_number(1);
+  store::mapping_store store;
+  mapping_service seeder({.threads = 1, .store = &store});
+  (void)seeder.run({fleet_job(m)});
+  auto entry = *store.find_exact(sysinfo::fingerprint(m));
+  entry.bank_functions.back() = (1ull << 20) ^ (1ull << 24);
+  entry.function_span = gf2::row_echelon(entry.bank_functions);
+  std::swap(entry.row_bits, entry.column_bits);
+  entry.bank_count = entry.bank_count == 8 ? 64 : 8;
+  entry.threshold_ns *= 3.0;
+  entry.evidence_digest = entry.compute_evidence_digest();
+  store.put(std::move(entry));
+
+  dram::machine_spec sibling = m;
+  sibling.cpu_model = "i5-2500";
+  mapping_service service({.threads = 1, .store = &store});
+  const auto outcomes = service.run({fleet_job(sibling)});
+  ASSERT_EQ(outcomes[0].state, job_state::completed);
+  EXPECT_EQ(outcomes[0].store_hit, "warm");
+  EXPECT_TRUE(outcomes[0].result.success);
+  EXPECT_TRUE(outcomes[0].result.verified);
+  // Identical to what a cold recovery of the sibling finds.
+  const auto reference =
+      mapping_service({.threads = 1}).run({fleet_job(sibling)});
+  ASSERT_TRUE(outcomes[0].result.mapping && reference[0].result.mapping);
+  EXPECT_EQ(outcomes[0].result.mapping->describe(),
+            reference[0].result.mapping->describe());
+}
+
 TEST(MappingServiceStore, NonDramdigJobsBypassTheStore) {
   store::mapping_store store;
   mapping_service service({.threads = 1, .store = &store});
@@ -482,12 +551,23 @@ TEST(JobFeed, PopsByPriorityThenFifo) {
             (std::vector<std::uint64_t>{t_hi1, t_hi2, t_mid, t_low}));
 }
 
-TEST(JobFeed, PushAfterCloseIsDropped) {
+TEST(JobFeed, PushAfterCloseIsDroppedWithWarning) {
   job_feed feed;
   feed.close();
   EXPECT_TRUE(feed.closed());
+  // The drop is deliberate (racing producers degrade instead of
+  // throwing), but it must not be silent: a warning names the job that
+  // never ran.
+  std::vector<std::string> warnings;
+  set_log_sink([&](log_level level, const std::string& message) {
+    if (level == log_level::warn) warnings.push_back(message);
+  });
   EXPECT_EQ(feed.push({dram::machine_by_number(1), "dramdig", {}, 1}), 0u);
+  set_log_sink({});
   EXPECT_EQ(feed.pending(), 0u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("No.1"), std::string::npos) << warnings[0];
+  EXPECT_NE(warnings[0].find("dramdig"), std::string::npos) << warnings[0];
   // A serve() on the closed, empty feed returns immediately with nothing.
   mapping_service service({.threads = 1});
   EXPECT_EQ(service.serve(feed, {}), 0u);

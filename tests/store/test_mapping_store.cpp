@@ -47,9 +47,28 @@ store_entry entry_for(int machine_number, std::uint64_t seed = 42) {
   e.address_bits = m.mapping.address_bits();
   e.function_span = gf2::row_echelon(e.bank_functions);
   e.pool_size = 4096;
+  e.bank_count = m.mapping.bank_count();
+  e.threshold_ns = 250.5;
   e.history.push_back({"recovered", seed, 2348});
   e.evidence_digest = e.compute_evidence_digest();
   return e;
+}
+
+/// Rewrite a saved v2 document as its v1 twin: version 1, no bank_count /
+/// threshold_ns evidence keys (the exact shape the v1 writer emitted).
+std::string as_v1_document(std::string doc) {
+  const std::size_t v = doc.find("\"version\": 2");
+  EXPECT_NE(v, std::string::npos);
+  doc.replace(v + 11, 1, "1");
+  while (true) {
+    const std::size_t bc = doc.find("\"bank_count\"");
+    if (bc == std::string::npos) break;
+    const std::size_t comma = doc.rfind(',', bc);
+    std::size_t end = doc.find("\"threshold_ns\"", bc);
+    end = doc.find('\n', end);
+    doc.erase(comma, end - comma);
+  }
+  return doc;
 }
 
 TEST(MappingStore, StartsEmptyInMemory) {
@@ -127,6 +146,8 @@ TEST(MappingStore, RoundTripsThroughDisk) {
     EXPECT_EQ(hit->column_bits, m.mapping.column_bits());
     EXPECT_EQ(hit->address_bits, m.mapping.address_bits());
     EXPECT_EQ(hit->pool_size, 4096u);
+    EXPECT_EQ(hit->bank_count, m.mapping.bank_count());
+    EXPECT_EQ(hit->threshold_ns, 250.5);
     EXPECT_EQ(hit->evidence_digest, hit->compute_evidence_digest());
     ASSERT_EQ(hit->history.size(), 1u);
     EXPECT_EQ(hit->history[0].measurements, 2348u);
@@ -166,6 +187,79 @@ TEST(MappingStore, TruncatedFileDegradesToColdWithWarning) {
     }
     // The broken file stays on disk untouched until the next save().
     EXPECT_EQ(read_file(path.str()).size(), len);
+  }
+}
+
+TEST(MappingStore, V1DocumentLoadsAsSpanOnlyPriorWithoutWarning) {
+  temp_path path("v1");
+  {
+    mapping_store store(path.str());
+    store.put(entry_for(1));
+    store.save();
+  }
+  // A store written before the evidence schema: version 1, an evidence
+  // block of only {digest, pool_size}. It must load silently — migration
+  // is not a degradation — with the v2 evidence fields reading as "no
+  // claim", i.e. exactly the span-only warm prior v1 always provided.
+  write_file(path.str(), as_v1_document(read_file(path.str())));
+  const mapping_store store(path.str());
+  EXPECT_TRUE(store.load_warning().empty());
+  ASSERT_EQ(store.size(), 1u);
+  const auto hit =
+      store.find_exact(sysinfo::fingerprint(dram::machine_by_number(1)));
+  ASSERT_TRUE(hit);
+  EXPECT_FALSE(hit->function_span.empty());
+  EXPECT_EQ(hit->pool_size, 4096u);
+  EXPECT_EQ(hit->bank_count, 0u);
+  EXPECT_EQ(hit->threshold_ns, 0.0);
+  // The next save() upgrades the document in place to version 2.
+  store.save();
+  EXPECT_NE(read_file(path.str()).find("\"version\": 2"), std::string::npos);
+}
+
+TEST(MappingStore, V2WithTruncatedEvidenceBlockDegradesToV1Behavior) {
+  temp_path path("v2partial");
+  {
+    mapping_store store(path.str());
+    store.put(entry_for(1));
+    store.save();
+  }
+  // A version-2 header whose evidence block lost its v2 keys (e.g. a
+  // document assembled by an older writer, or hand-edited): the optional
+  // keys read as absent and the entry behaves exactly like a v1 load.
+  std::string doc = as_v1_document(read_file(path.str()));
+  const std::size_t v = doc.find("\"version\": 1");
+  ASSERT_NE(v, std::string::npos);
+  doc.replace(v + 11, 1, "2");
+  write_file(path.str(), doc);
+  const mapping_store store(path.str());
+  EXPECT_TRUE(store.load_warning().empty());
+  ASSERT_EQ(store.size(), 1u);
+  const auto hit =
+      store.find_exact(sysinfo::fingerprint(dram::machine_by_number(1)));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->bank_count, 0u);
+  EXPECT_EQ(hit->threshold_ns, 0.0);
+}
+
+TEST(MappingStore, TruncatedV1FileDegradesToColdWithWarning) {
+  temp_path path("truncated_v1");
+  {
+    mapping_store store(path.str());
+    store.put(entry_for(1));
+    store.save();
+  }
+  // The byte-truncation contract must hold for legacy documents too: any
+  // prefix of a v1 store loads as empty-with-warning, never a crash and
+  // never a partially-migrated entry.
+  const std::string full = as_v1_document(read_file(path.str()));
+  for (std::size_t len = 0; len < full.size(); len += 89) {
+    write_file(path.str(), full.substr(0, len));
+    const mapping_store store(path.str());
+    EXPECT_EQ(store.size(), 0u) << "v1 prefix length " << len;
+    if (len > 0) {
+      EXPECT_FALSE(store.load_warning().empty()) << "v1 prefix length " << len;
+    }
   }
 }
 
